@@ -1,0 +1,62 @@
+"""E-A6 — extension: router buffer requirement of pipelined tree Allreduce.
+
+Section 1.2 argues trees suit in-network computation because they pipeline
+"with a small memory footprint equal to latency-bandwidth product of the
+links". Workload: sweep the per-flow credit buffer size in the cycle
+simulator and measure aggregate bandwidth. Pass criteria: throughput
+saturates at buffer = 2 * link_capacity (the credit-loop round trip), and
+a single slot costs exactly half the bandwidth.
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import build_plan
+from repro.simulator import simulate_allreduce
+
+
+@pytest.mark.parametrize("scheme,q,m", [
+    ("edge-disjoint", 5, 1200),
+    ("low-depth", 5, 400),
+])
+def test_buffer_size_sweep(benchmark, scheme, q, m):
+    plan = build_plan(q, scheme)
+    parts = plan.partition(m)
+
+    def run():
+        out = {}
+        for b in (1, 2, 4, None):
+            stats = simulate_allreduce(plan.topology, plan.trees, parts, buffer_size=b)
+            out[b] = (stats.cycles, round(stats.aggregate_bandwidth, 4))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    unbuffered = table[None]
+    # latency-bandwidth product suffices (exact on congestion-free trees;
+    # within one arbitration cycle when link sharing interleaves credits)
+    assert table[2][0] <= unbuffered[0] + 2
+    assert table[4][0] <= unbuffered[0] + 2
+    assert table[1][0] > unbuffered[0] * 1.5  # one slot stalls the pipeline
+    record(benchmark, scheme=scheme, q=q, m=m,
+           table={str(k): v for k, v in table.items()})
+
+
+def test_buffer_sweep_with_wide_links(benchmark):
+    """Capacity-4 links need 8 slots — buffer scales with bandwidth."""
+    plan = build_plan(5, "edge-disjoint")
+    m = 2400
+    parts = plan.partition(m)
+
+    def run():
+        out = {}
+        for b in (4, 8, None):
+            stats = simulate_allreduce(
+                plan.topology, plan.trees, parts, link_capacity=4, buffer_size=b
+            )
+            out[b] = stats.cycles
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert table[8] == table[None]
+    assert table[4] > table[None]
+    record(benchmark, table={str(k): v for k, v in table.items()})

@@ -1,0 +1,56 @@
+"""E-A4 — ablation: careless tree embedding vs the paper's constructions.
+
+Workload: embed the same *number* of trees as Algorithm 3 (k = q), but as
+independent random spanning trees, and run Algorithm 1. Pass criteria:
+
+- random embeddings suffer congestion >> 2 (they'd need that many VCs);
+- their aggregate bandwidth is well below the Algorithm 3 trees' q*B/2 —
+  the paper's Section 1.2 motivation made quantitative.
+"""
+
+from conftest import record
+
+from repro.core import aggregate_bandwidth
+from repro.topology import polarfly_graph
+from repro.trees import low_depth_trees, max_congestion
+from repro.trees.random_trees import random_spanning_trees
+
+
+def test_random_vs_lowdepth_q11(benchmark):
+    q = 11
+    g = polarfly_graph(q).graph
+
+    def run():
+        rand = random_spanning_trees(g, q, seed=0)
+        return (
+            float(aggregate_bandwidth(g, rand)),
+            max_congestion(rand),
+        )
+
+    rand_bw, rand_cong = benchmark.pedantic(run, rounds=1, iterations=1)
+    ld = low_depth_trees(q)
+    ld_bw = float(aggregate_bandwidth(g, ld))
+    assert rand_cong > 2  # needs more router state than the careful embedding
+    assert rand_bw < ld_bw  # and still delivers less bandwidth
+    record(
+        benchmark,
+        q=q,
+        random_bandwidth=round(rand_bw, 3),
+        lowdepth_bandwidth=ld_bw,
+        random_congestion=rand_cong,
+        lowdepth_congestion=2,
+    )
+
+
+def test_random_embedding_congestion_grows(benchmark):
+    """Worst-case congestion of naive embeddings grows with tree count."""
+    g = polarfly_graph(7).graph
+
+    def run():
+        return {k: max_congestion(random_spanning_trees(g, k, seed=1))
+                for k in (1, 2, 4, 7)}
+
+    cong = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cong[1] == 1
+    assert cong[7] >= cong[2]
+    record(benchmark, congestion_by_k=cong)

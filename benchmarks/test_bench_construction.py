@@ -1,0 +1,56 @@
+"""E-A3 — ablation: construction cost scaling of every substrate.
+
+Times the cold-cache construction of each pipeline stage (field tables,
+ER_q adjacency, Singer difference set, Algorithm 3, matching) at
+increasing radix, demonstrating the practical cost of planning an
+embedding — all of which happens once, offline, per machine.
+"""
+
+import pytest
+from conftest import record
+
+from repro.gf.gf import GF
+from repro.topology.layout import PolarFlyLayout
+from repro.topology.polarfly import PolarFly, polarfly_graph
+from repro.topology.singer import SingerGraph
+from repro.trees.disjoint import max_disjoint_hamiltonian_pairs
+from repro.trees.lowdepth import low_depth_trees_from_layout
+
+
+@pytest.mark.parametrize("q", [9, 27, 121])
+def test_field_table_construction(benchmark, q):
+    f = benchmark.pedantic(GF, args=(q,), rounds=3, iterations=1)
+    assert f.order == q
+
+
+@pytest.mark.parametrize("q", [7, 13, 19, 31])
+def test_er_graph_construction(benchmark, q):
+    pf = benchmark.pedantic(PolarFly, args=(q,), rounds=3, iterations=1)
+    assert pf.graph.num_edges == q * (q + 1) ** 2 // 2
+
+
+@pytest.mark.parametrize("q", [31, 127])
+def test_singer_graph_construction(benchmark, q):
+    sg = benchmark.pedantic(SingerGraph, args=(q,), rounds=1, iterations=1)
+    assert sg.graph.num_edges == q * (q + 1) ** 2 // 2
+
+
+@pytest.mark.parametrize("q", [7, 13, 19])
+def test_algorithm3_trees(benchmark, q):
+    layout = PolarFlyLayout(polarfly_graph(q))
+
+    def run():
+        return low_depth_trees_from_layout(layout)
+
+    trees = benchmark(run)
+    assert len(trees) == q
+
+
+@pytest.mark.parametrize("q", [31, 127])
+def test_disjoint_matching(benchmark, q):
+    def run():
+        return max_disjoint_hamiltonian_pairs(q)
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(pairs) == (q + 1) // 2
+    record(benchmark, q=q, pairs=len(pairs))

@@ -1,0 +1,50 @@
+"""E-X3 — extension: even-q low-depth trees (nucleus layout).
+
+The paper derives Algorithm 3 for odd prime powers and only asserts that
+an even-q analogue exists. This bench exercises our construction: ``q - 1``
+trees of depth <= 3 and congestion 2 on every even radix, aggregate
+``(q-1)B/2`` — closing the even-q latency gap that otherwise only the
+deep Hamiltonian solution covers.
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import record
+
+from repro.core import aggregate_bandwidth, build_plan
+from repro.topology import polarfly_graph
+from repro.trees import low_depth_trees_even, max_congestion
+
+
+@pytest.mark.parametrize("q", [4, 8, 16])
+def test_even_q_low_depth_construction(benchmark, q):
+    def run():
+        return low_depth_trees_even(q)
+
+    trees = benchmark.pedantic(run, rounds=3, iterations=1)
+    g = polarfly_graph(q).graph
+    assert len(trees) == q - 1
+    assert all(t.depth <= 3 for t in trees)
+    assert max_congestion(trees) <= 2
+    assert aggregate_bandwidth(g, trees) == Fraction(q - 1, 2)
+    record(benchmark, q=q, trees=q - 1,
+           aggregate_bandwidth=str(Fraction(q - 1, 2)),
+           normalized=float(Fraction(q - 1, q + 1)))
+
+
+def test_even_q_scheme_tradeoff(benchmark):
+    """Depth/bandwidth landscape at q=16 across all applicable schemes."""
+
+    def run():
+        out = {}
+        for scheme in ("low-depth-even", "edge-disjoint", "single"):
+            p = build_plan(16, scheme)
+            out[scheme] = (p.num_trees, p.max_depth, float(p.aggregate_bandwidth))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert table["low-depth-even"][1] <= 3
+    assert table["edge-disjoint"][2] > table["low-depth-even"][2]
+    assert table["low-depth-even"][2] > table["single"][2]
+    record(benchmark, table=table)

@@ -1,0 +1,28 @@
+"""E-F1 — regenerate Figure 1 (PolarFly layout, q=11) and time it.
+
+Workload: Algorithm 2 layout of ER_11 plus all Properties 1-3 edge counts
+(intra-cluster, inter-cluster, cluster<->W). Pass criterion: every property
+holds with the paper's exact counts (q+1 = 12 edges to W, q-2 = 9 edges
+between clusters).
+"""
+
+from conftest import record
+
+from repro.analysis import figure1_data, render_figure1
+
+
+def test_figure1_layout_q11(benchmark):
+    d = benchmark(figure1_data, 11)
+    assert d.properties_hold
+    assert set(d.edges_to_quadric_cluster) == {12}
+    assert set(d.inter_cluster_edges.values()) == {9}
+    record(benchmark, q=11, rendered=render_figure1(d))
+
+
+def test_figure1_layout_sweep(benchmark):
+    def sweep():
+        return [figure1_data(q) for q in (3, 5, 7, 9, 11)]
+
+    ds = benchmark(sweep)
+    assert all(d.properties_hold for d in ds)
+    record(benchmark, qs=[3, 5, 7, 9, 11])

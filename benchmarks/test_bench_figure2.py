@@ -1,0 +1,37 @@
+"""E-F2 — regenerate Figure 2 (Singer difference sets, q=3 and q=4).
+
+Workload: from-scratch GF construction, smallest primitive cubic, power
+walk, difference table and reflection points. Pass criterion: exact match
+with the paper's printed sets (q=3: D={0,1,3,9}, reflections {0,7,8,11};
+q=4: D={0,1,4,14,16}, reflections {0,2,7,8,11}).
+"""
+
+from conftest import record
+
+from repro.analysis import figure2_data, render_figure2
+from repro.topology.singer import singer_difference_set
+
+
+def test_figure2_q3(benchmark):
+    d = benchmark(figure2_data, 3)
+    assert d.matches_paper and d.is_perfect
+    record(benchmark, dset=list(d.dset), reflections=list(d.reflections),
+           rendered=render_figure2(d))
+
+
+def test_figure2_q4(benchmark):
+    d = benchmark(figure2_data, 4)
+    assert d.matches_paper and d.is_perfect
+    record(benchmark, dset=list(d.dset), reflections=list(d.reflections),
+           rendered=render_figure2(d))
+
+
+def test_figure2_cold_singer_q9(benchmark):
+    """Cold difference-set construction (cache cleared each round)."""
+
+    def build():
+        singer_difference_set.cache_clear()
+        return singer_difference_set(9)
+
+    d = benchmark(build)
+    assert len(d) == 10

@@ -1,0 +1,32 @@
+"""E-F3 — regenerate Figure 3 (Algorithm 3 level structure).
+
+Figure 3 is the paper's illustration of the depth-3 tree construction;
+the checkable content is the caption's level assignment, verified against
+the constructed trees at several radixes.
+"""
+
+import pytest
+from conftest import record
+
+from repro.analysis import figure3_data, render_figure3
+
+
+@pytest.mark.parametrize("q", [5, 11])
+def test_figure3_levels(benchmark, q):
+    d = benchmark(figure3_data, q, 0)
+    assert d.matches_caption
+    assert len(d.levels[0]) == 1
+    assert len(d.levels[1]) == q + 1
+    record(benchmark, q=q, level_sizes=[len(l) for l in d.levels],
+           rendered=render_figure3(d))
+
+
+def test_figure3_every_tree(benchmark):
+    q = 7
+
+    def run():
+        return [figure3_data(q, i) for i in range(q)]
+
+    ds = benchmark(run)
+    assert all(d.matches_caption for d in ds)
+    record(benchmark, q=q)

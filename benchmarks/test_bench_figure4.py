@@ -1,0 +1,31 @@
+"""E-F4 — regenerate Figure 4 (edge-disjoint Hamiltonian path families).
+
+Workload: build the paper's explicit families for q=3 ((0,1)+(3,9)) and
+q=4 ((0,1)+(4,14)), check edge-disjointness and the unused color classes.
+Pass criterion: both families reach the Lemma 7.18 bound of 2 paths; q=3
+uses every edge, q=4 leaves exactly the color-16 class unused.
+"""
+
+from conftest import record
+
+from repro.analysis import figure4_data, render_figure4
+
+
+def test_figure4_q3(benchmark):
+    d = benchmark(figure4_data, 3)
+    assert d.edge_disjoint and d.num_paths == d.upper_bound == 2
+    assert d.unused_colors == ()
+    record(benchmark, pairs=list(d.pairs), rendered=render_figure4(d))
+
+
+def test_figure4_q4(benchmark):
+    d = benchmark(figure4_data, 4)
+    assert d.edge_disjoint and d.num_paths == d.upper_bound == 2
+    assert d.unused_colors == (16,)
+    record(benchmark, pairs=list(d.pairs), rendered=render_figure4(d))
+
+
+def test_figure4_matching_q13(benchmark):
+    """Exact-matching family construction at a mid radix."""
+    d = benchmark(figure4_data, 13)
+    assert d.edge_disjoint and d.num_paths == d.upper_bound == 7

@@ -1,0 +1,49 @@
+"""E-F5 — regenerate Figure 5 (bandwidth + depth vs radix, q in [3, 128]).
+
+Workload: the full radix sweep — Singer difference set + maximum matching
+(constructive) at every prime power, Algorithm 3 + Algorithm 1 for
+constructive low-depth points. Pass criteria (the paper's Figure 5 shape):
+
+- 5a: Hamiltonian solution normalized bandwidth == 1.0 at every odd radix,
+  q/(q+1) at even q; low-depth == q/(q+1) (monotonically -> 1);
+- 5b: low-depth depth constant (<= 3) vs Hamiltonian depth (q^2+q)/2.
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.analysis import figure5_data, render_figure5
+
+
+def test_figure5_full_sweep(benchmark):
+    rows = benchmark.pedantic(figure5_data, args=(3, 128), rounds=1, iterations=1)
+    assert len(rows) == 43
+    for r in rows:
+        if r.q % 2 == 1:
+            assert r.hamiltonian_norm_bw == 1
+            assert r.lowdepth_norm_bw == Fraction(r.q, r.q + 1)
+            assert r.lowdepth_depth <= 3
+        else:
+            assert r.hamiltonian_norm_bw == Fraction(r.q, r.q + 1)
+        assert r.hamiltonian_depth == (r.q * r.q + r.q) // 2
+        assert r.hamiltonian_trees == (r.q + 1) // 2
+    record(
+        benchmark,
+        radixes=[r.radix for r in rows],
+        lowdepth_norm=[None if r.lowdepth_norm_bw is None else float(r.lowdepth_norm_bw)
+                       for r in rows],
+        hamiltonian_norm=[float(r.hamiltonian_norm_bw) for r in rows],
+        hamiltonian_depth=[r.hamiltonian_depth for r in rows],
+        rendered=render_figure5(rows),
+    )
+
+
+def test_figure5_constructive_prefix(benchmark):
+    """The fully constructive (no closed forms) portion of the sweep."""
+    rows = benchmark.pedantic(
+        figure5_data, args=(3, 19), kwargs={"constructive_threshold": 19},
+        rounds=1, iterations=1,
+    )
+    assert all(r.lowdepth_constructive for r in rows if r.q % 2 == 1)
+    record(benchmark, qs=[r.q for r in rows])

@@ -1,0 +1,64 @@
+"""E-A5 — ablation: generic greedy embedding vs the algebraic constructions.
+
+How much does PolarFly's mathematical structure buy over a good generic
+heuristic? Workload: embed k = q trees with the depth-slack greedy
+(least-used-link Prim growth, spread roots) and compare congestion and
+Algorithm 1 bandwidth against Algorithm 3 and the Hamiltonian solution.
+
+Also verifies the Theorem 6.1 corollary that motivates depth 3: depth-2
+trees on ER_q are fully root-determined (no embedding freedom), so a
+depth-2 greedy collapses to the high-congestion regime.
+"""
+
+from conftest import record
+
+from repro.core import aggregate_bandwidth
+from repro.topology import polarfly_graph
+from repro.trees import (
+    edge_disjoint_hamiltonian_trees,
+    greedy_trees,
+    low_depth_trees,
+    max_congestion,
+)
+from repro.topology import singer_graph
+
+
+def test_greedy_vs_algebraic_q11(benchmark):
+    q = 11
+    g = polarfly_graph(q).graph
+
+    def run():
+        trees = greedy_trees(g, q)
+        return float(aggregate_bandwidth(g, trees)), max_congestion(trees)
+
+    greedy_bw, greedy_cong = benchmark.pedantic(run, rounds=1, iterations=1)
+    alg3 = low_depth_trees(q)
+    alg3_bw = float(aggregate_bandwidth(g, alg3))
+    ham = edge_disjoint_hamiltonian_trees(q)
+    ham_bw = float(aggregate_bandwidth(singer_graph(q).graph, ham))
+
+    assert greedy_cong >= 3  # cannot match Algorithm 3's provable 2
+    assert greedy_bw < alg3_bw < ham_bw
+    record(
+        benchmark,
+        q=q,
+        greedy_bandwidth=greedy_bw,
+        greedy_congestion=greedy_cong,
+        algorithm3_bandwidth=alg3_bw,
+        hamiltonian_bandwidth=ham_bw,
+    )
+
+
+def test_depth2_greedy_has_no_freedom(benchmark):
+    """Theorem 6.1 consequence: at depth 2, the greedy cannot spread load."""
+    q = 9
+    g = polarfly_graph(q).graph
+
+    def run():
+        d2 = greedy_trees(g, q, max_depth=2)
+        d3 = greedy_trees(g, q, max_depth=3)
+        return max_congestion(d2), max_congestion(d3)
+
+    cong2, cong3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cong2 > cong3  # the extra level is what creates choice
+    record(benchmark, q=q, depth2_congestion=cong2, depth3_congestion=cong3)

@@ -1,0 +1,51 @@
+"""E-X2 — Corollary 7.20: # alternating-sum Hamiltonian paths == phi(N).
+
+Workload: for each prime power, enumerate every ordered difference-set
+pair, construct the maximal path, and count the Hamiltonian ones; compare
+with Euler's totient of N = q^2 + q + 1.
+"""
+
+from conftest import record
+
+from repro.trees import alternating_path, hamiltonian_pairs
+from repro.utils import euler_totient, prime_powers_in_range
+
+QS = prime_powers_in_range(3, 27)
+
+
+def test_corollary_720_counts(benchmark):
+    def run():
+        out = {}
+        for q in QS:
+            n = q * q + q + 1
+            # unordered pairs times 2 (a path and its reversal are distinct)
+            out[q] = 2 * len(hamiltonian_pairs(q))
+        return out
+
+    counts = benchmark(run)
+    for q in QS:
+        assert counts[q] == euler_totient(q * q + q + 1)
+    record(benchmark, counts=counts)
+
+
+def test_counts_by_explicit_path_construction(benchmark):
+    """Slower cross-check: actually build every path and test spanning."""
+
+    def run():
+        out = {}
+        for q in (3, 4, 5, 7, 8):
+            n = q * q + q + 1
+            from repro.topology import singer_difference_set
+
+            d = singer_difference_set(q)
+            cnt = 0
+            for d0 in d:
+                for d1 in d:
+                    if d0 != d1 and len(alternating_path(q, d0, d1)) == n:
+                        cnt += 1
+            out[q] = cnt
+        return out
+
+    counts = benchmark(run)
+    for q, c in counts.items():
+        assert c == euler_totient(q * q + q + 1)

@@ -1,0 +1,43 @@
+"""E-A7 — ablation: strong/weak scaling of Allreduce time with machine size.
+
+Workload: sweep all prime-power radixes under the alpha-beta model, fixed
+global vector (strong) and fixed per-node vector (weak). Pass criteria
+(the Section 1 positioning): in-network multi-tree time improves with
+radix under strong scaling while ring degrades; under weak scaling the
+multi-tree schemes dominate the single tree and every host algorithm at
+every machine size past the smallest.
+"""
+
+from conftest import record
+
+from repro.analysis import render_scaling, scaling_sweep
+
+
+def test_strong_scaling(benchmark):
+    rows = benchmark(scaling_sweep, 3, 64, None, 1 << 24)
+    ld = [r.times["low-depth"] for r in rows]
+    assert ld == sorted(ld, reverse=True)
+    assert rows[-1].times["ring"] > rows[0].times["ring"]
+    record(
+        benchmark,
+        mode="strong",
+        nodes=[r.nodes for r in rows],
+        low_depth=[round(r.times["low-depth"]) for r in rows],
+        ring=[round(r.times["ring"]) for r in rows],
+        rendered=render_scaling(rows, "strong (m = 16M total)"),
+    )
+
+
+def test_weak_scaling(benchmark):
+    rows = benchmark(scaling_sweep, 3, 64, 4096, None)
+    for r in rows[1:]:
+        innet = min(r.times["low-depth"], r.times["edge-disjoint"])
+        assert innet < r.times["single-tree"]
+        assert innet < min(r.times["ring"], r.times["rabenseifner"],
+                           r.times["recursive-doubling"])
+    record(
+        benchmark,
+        mode="weak",
+        nodes=[r.nodes for r in rows],
+        rendered=render_scaling(rows, "weak (m = 4096 per node)"),
+    )

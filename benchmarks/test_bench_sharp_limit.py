@@ -1,0 +1,50 @@
+"""E-X4 — extension: the SHARP two-tree limit quantified (Section 1.1).
+
+Mellanox SHARP supports concurrent operation on at most two Allreduce
+trees; the paper argues systems supporting many trees benefit from its
+embeddings. Workload: cap the edge-disjoint construction at 1, 2, 4, ...
+trees and measure Algorithm 1 aggregate bandwidth and estimated time.
+Pass criteria: two trees double the single-tree bandwidth (SHARP's best
+case), but the full set scales to the Corollary 7.1 optimum — the gap the
+paper's opening argument rests on.
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import build_plan
+
+
+@pytest.mark.parametrize("q", [11, 19])
+def test_tree_count_cap_sweep(benchmark, q):
+    def run():
+        out = {}
+        full = build_plan(q, "edge-disjoint")
+        for cap in (1, 2, 4, full.num_trees):
+            p = build_plan(q, "edge-disjoint", max_trees=cap)
+            out[cap] = float(p.aggregate_bandwidth)
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    caps = sorted(table)
+    # disjoint trees: bandwidth == tree count, up to the optimum
+    assert table[1] == 1.0
+    assert table[2] == 2.0  # the SHARP best case
+    assert table[caps[-1]] == (q + 1) // 2
+    record(benchmark, q=q, bandwidth_by_tree_cap=table,
+           sharp_gap=table[caps[-1]] / table[2])
+
+
+def test_capped_low_depth_redistributes_bandwidth(benchmark):
+    """With fewer Algorithm 3 trees, freed links let survivors run faster
+    than B/2 — Algorithm 1 redistributes automatically."""
+    q = 11
+
+    def run():
+        capped = build_plan(q, "low-depth", max_trees=2)
+        return [float(b) for b in capped.bandwidths]
+
+    bws = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(bws) == 2
+    assert all(b >= 0.5 for b in bws)  # never worse than the congested share
+    record(benchmark, q=q, capped_rates=bws)

@@ -1,0 +1,67 @@
+"""E-A1 — ablation: flit-level simulation vs the Algorithm 1 / fluid model.
+
+Workload: run the cycle-accurate simulator on all three embedding schemes
+and compare measured completion and steady-state aggregate bandwidth with
+the analytic predictions (Theorem 5.1 rates + 2*depth pipeline fill).
+Pass criterion: measured within 15% of predicted (and never above the
+theoretical bound by more than rounding).
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import build_plan
+from repro.simulator import fluid_simulate, simulate_allreduce
+
+CASES = [
+    ("single", 5, 400),
+    ("low-depth", 5, 400),
+    ("low-depth", 7, 560),
+    ("edge-disjoint", 5, 3000),
+    ("edge-disjoint", 7, 6000),
+]
+
+
+@pytest.mark.parametrize("scheme,q,m", CASES, ids=[f"{s}-q{q}" for s, q, _ in CASES])
+def test_cycle_sim_matches_model(benchmark, scheme, q, m):
+    plan = build_plan(q, scheme)
+    parts = plan.partition(m)
+
+    def run():
+        return simulate_allreduce(plan.topology, plan.trees, parts)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    fluid = fluid_simulate(plan.topology, plan.trees, m, hop_latency=1)
+    predicted_cycles = float(fluid.makespan)
+    assert stats.cycles <= predicted_cycles * 1.02 + 2
+    assert stats.cycles >= predicted_cycles * 0.85
+    measured_bw = stats.aggregate_bandwidth
+    bound = float(plan.aggregate_bandwidth)
+    assert measured_bw <= bound * 1.02
+    record(
+        benchmark,
+        scheme=scheme,
+        q=q,
+        m=m,
+        measured_cycles=stats.cycles,
+        predicted_cycles=predicted_cycles,
+        measured_bandwidth=round(measured_bw, 4),
+        theoretical_bandwidth=bound,
+    )
+
+
+def test_bandwidth_ratio_multi_vs_single(benchmark):
+    """The headline claim: multi-tree boosts bandwidth ~ q/2 x over the
+    single-tree baseline, in actual simulation."""
+    q, m = 5, 2000
+    single = build_plan(q, "single")
+    ld = build_plan(q, "low-depth")
+
+    def run():
+        s = simulate_allreduce(single.topology, single.trees, [m])
+        l = simulate_allreduce(ld.topology, ld.trees, ld.partition(m))
+        return s.cycles / l.cycles
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speedup > q / 2 * 0.9
+    record(benchmark, q=q, m=m, speedup=round(speedup, 3), predicted=q / 2)

@@ -1,0 +1,30 @@
+"""E-T1 — regenerate Table 1 (vertex classes of ER_q) and time it.
+
+Workload: build ER_q for the odd prime powers up to 13 and measure every
+global and per-neighborhood class count. Pass criterion: exact match with
+the paper's closed forms for every radix.
+"""
+
+from conftest import record
+
+from repro.analysis import render_table1, table1_data
+from repro.topology.polarfly import PolarFly
+
+QS = [3, 5, 7, 9, 11, 13]
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(table1_data, QS)
+    assert all(r.matches_paper for r in rows)
+    record(
+        benchmark,
+        qs=QS,
+        counts={r.q: r.counts for r in rows},
+        rendered=render_table1(rows),
+    )
+
+
+def test_table1_uncached_er_construction(benchmark):
+    """Cold-build ER_13 (N=183) — the substrate cost behind Table 1."""
+    pf = benchmark.pedantic(PolarFly, args=(13,), rounds=3, iterations=1)
+    assert pf.counts() == {"W": 14, "V1": 91, "V2": 78}

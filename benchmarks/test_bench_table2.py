@@ -1,0 +1,29 @@
+"""E-T2 — regenerate Table 2 (non-Hamiltonian maximal paths in S_4).
+
+Workload: enumerate all unordered difference-set pairs of S_4, construct
+each maximal alternating-sum path and summarize (gcd, k, endpoints). Pass
+criterion: exactly the paper's four rows.
+"""
+
+from conftest import record
+
+from repro.analysis import render_table2, table2_data, table2_matches_paper
+from repro.trees import alternating_path
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2_data, 4)
+    assert table2_matches_paper(rows)
+    record(benchmark, rows=[(r.d0, r.d1, r.gcd, r.k, r.start, r.end) for r in rows],
+           rendered=render_table2(rows))
+
+
+def test_table2_path_construction(benchmark):
+    """Time the Corollary 7.15 recurrence itself on the q=4 pairs."""
+
+    def build_all():
+        return [alternating_path(4, d0, d1)
+                for d0, d1 in ((0, 14), (1, 4), (1, 16), (4, 16))]
+
+    paths = benchmark(build_all)
+    assert [len(p) for p in paths] == [3, 7, 7, 7]

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Bandwidth/latency study: the Figure 5 sweep and the scheme crossover.
+
+Regenerates both Figure 5 series over all prime-power radixes, then maps
+the latency/bandwidth trade-off of Section 7.3 concretely: for one radix,
+sweeps the vector size and reports which scheme (single tree, low-depth,
+edge-disjoint, and the host-based baselines) minimizes Allreduce time
+under an alpha-beta cost model.
+
+Usage: python examples/bandwidth_study.py [q_max] [q_for_crossover]
+"""
+
+import sys
+
+from repro.analysis import (
+    crossover_sweep,
+    figure5_data,
+    render_crossover,
+    render_figure5,
+    winning_regions,
+)
+
+
+def main() -> None:
+    q_max = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    q_cross = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+
+    print(render_figure5(figure5_data(3, q_max)))
+
+    print()
+    points = crossover_sweep(q_cross, exponents=range(4, 29, 3))
+    print(render_crossover(q_cross, points))
+    print("\nSection 7.3 trade-off, concretely:")
+    for winner, lo, hi in winning_regions(points):
+        print(f"  m in [{lo}, {hi}]: {winner} wins")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Data-parallel training on PolarFly: gradient Allreduce via embedded trees.
+
+The paper's motivating workload (Section 1): distributed ML training
+reduces large gradient vectors every step. This example trains a linear
+model with synchronous data-parallel SGD across all N = q^2+q+1 nodes of a
+PolarFly; each step's gradient averaging is executed *through the embedded
+spanning trees* (not a shortcut sum), and per-step communication time is
+estimated for all three embedding schemes.
+
+Usage: python examples/distributed_training.py [q] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import SCHEMES, build_plan
+from repro.simulator import execute_plan
+
+
+def make_dataset(rng, n_nodes, samples_per_node, dim):
+    """Synthetic linear-regression shards: y = X w* + noise, one shard per node."""
+    w_star = rng.standard_normal(dim)
+    shards = []
+    for _ in range(n_nodes):
+        x = rng.standard_normal((samples_per_node, dim))
+        y = x @ w_star + 0.01 * rng.standard_normal(samples_per_node)
+        shards.append((x, y))
+    return w_star, shards
+
+
+def local_gradient(w, shard):
+    x, y = shard
+    err = x @ w - y
+    return x.T @ err / len(y)
+
+
+def main() -> None:
+    q = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 80
+    dim = 64
+    lr = 0.2
+
+    plan = build_plan(q, "low-depth")
+    n = plan.num_nodes
+    rng = np.random.default_rng(0)
+    w_star, shards = make_dataset(rng, n, samples_per_node=16, dim=dim)
+    w = np.zeros(dim)
+
+    print(f"training on PolarFly q={q} ({n} nodes), gradient dim {dim}")
+    for step in range(steps):
+        grads = np.stack([local_gradient(w, s) for s in shards])  # (N, dim)
+        # In-network Allreduce over the embedded trees, then average.
+        summed = execute_plan(plan, grads)
+        avg = summed[0] / n  # every node holds the same reduced vector
+        w = w - lr * avg
+        if step % 10 == 0 or step == steps - 1:
+            loss = float(np.mean([(np.dot(x, w) - y) ** 2
+                                  for xs, ys in shards for x, y in zip(xs, ys)]))
+            print(f"  step {step:>3}: loss {loss:.6f}, |w - w*| "
+                  f"{np.linalg.norm(w - w_star):.4f}")
+
+    err = np.linalg.norm(w - w_star)
+    print(f"converged to |w - w*| = {err:.4f}\n")
+    assert err < 0.1, "data-parallel SGD over the trees failed to converge"
+
+    # Communication-time estimate per step for each scheme (gradient of 25M
+    # elements, hop latency = 1 element-time).
+    m = 25_000_000
+    print(f"estimated per-step Allreduce time for a {m/1e6:.0f}M-element gradient:")
+    for scheme in SCHEMES:
+        try:
+            p = build_plan(q, scheme)
+        except ValueError:
+            continue
+        t = float(p.estimated_time(m, hop_latency=1))
+        print(f"  {scheme:>13}: {t:>12.0f} element-times "
+              f"({p.num_trees} trees, aggregate bw {p.aggregate_bandwidth})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate every artifact under results/ (run from the repo root).
+
+Writes:
+- results/report.txt            — all paper tables/figures (E-T1..E-F5)
+- results/crossover_q11.txt     — scheme crossover sweep (Section 7.3)
+- results/scaling_strong.txt    — strong scaling (E-A7)
+- results/scaling_weak.txt      — weak scaling (E-A7)
+- results/radix_comparison.txt  — equal-radix positioning (Section 1.3)
+- results/fabric_q5_lowdepth.json — sample router configuration (S31)
+"""
+
+import os
+import sys
+
+from repro.analysis import (
+    crossover_sweep,
+    full_report,
+    render_crossover,
+    render_radix_comparison,
+    render_scaling,
+    scaling_sweep,
+)
+from repro.core import build_plan
+from repro.simulator import generate_fabric_config
+
+
+def main() -> int:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    os.makedirs(outdir, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(outdir, name)
+        with open(path, "w") as f:
+            f.write(text.rstrip() + "\n")
+        print(f"wrote {path}")
+
+    write("report.txt", full_report())
+    write("crossover_q11.txt",
+          render_crossover(11, crossover_sweep(11, exponents=range(4, 31, 2))))
+    write("scaling_strong.txt",
+          render_scaling(scaling_sweep(3, 64, m_total=1 << 24),
+                         "strong (m = 16M total)"))
+    write("scaling_weak.txt",
+          render_scaling(scaling_sweep(3, 64, m_per_node=4096),
+                         "weak (m = 4096 per node)"))
+    write("radix_comparison.txt",
+          render_radix_comparison([4, 6, 8, 10, 12, 14, 18, 24, 32]))
+
+    plan = build_plan(5, "low-depth")
+    write("fabric_q5_lowdepth.json",
+          generate_fabric_config(plan.topology, plan.trees).to_json())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

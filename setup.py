@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` in environments without the
+`wheel` package (no-network build hosts). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro — reproduction of "In-network Allreduce with Multiple Spanning
+Trees on PolarFly" (SPAA 2023).
+
+Public API highlights
+---------------------
+- :func:`repro.topology.polarfly_graph` / :func:`repro.topology.singer_graph`
+  — the two isomorphic constructions of the PolarFly topology ER_q.
+- :func:`repro.trees.low_depth_trees` — Algorithm 3 (depth-3, congestion-2).
+- :func:`repro.trees.edge_disjoint_hamiltonian_trees` — Singer-based
+  edge-disjoint Hamiltonian-path spanning trees.
+- :func:`repro.core.tree_bandwidths` — Algorithm 1 performance model.
+- :func:`repro.core.build_plan` — end-to-end multi-tree Allreduce plan.
+- :mod:`repro.simulator` — functional / cycle-level / fluid in-network
+  computing simulators.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,87 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Experiment index (ids from DESIGN.md):
+
+- E-T1  :mod:`repro.analysis.table1`  — Table 1 vertex classes.
+- E-F1  :mod:`repro.analysis.figure1` — Figure 1 layout statistics (q=11).
+- E-F2  :mod:`repro.analysis.figure2` — Figure 2 difference sets (q=3, 4).
+- E-T2  :mod:`repro.analysis.table2`  — Table 2 non-Hamiltonian paths (q=4).
+- E-F4  :mod:`repro.analysis.figure4` — Figure 4 disjoint path families.
+- E-F5  :mod:`repro.analysis.figure5` — Figure 5 bandwidth/depth sweep.
+"""
+
+from repro.analysis.crossover import (
+    CrossoverPoint,
+    crossover_sweep,
+    render_crossover,
+    winning_regions,
+)
+from repro.analysis.figure1 import Figure1Data, figure1_data, render_figure1
+from repro.analysis.figure2 import PAPER_VALUES, Figure2Data, figure2_data, render_figure2
+from repro.analysis.errata import errata_report, printed_closed_form
+from repro.analysis.figure3 import Figure3Data, figure3_data, render_figure3
+from repro.analysis.figure4 import PAPER_PAIRS, Figure4Data, figure4_data, render_figure4
+from repro.analysis.figure5 import Figure5Row, figure5_data, render_figure5
+from repro.analysis.plotting import (
+    ascii_plot,
+    plot_figure5_bandwidth,
+    plot_figure5_depth,
+)
+from repro.analysis.radix_efficiency import (
+    NetworkPoint,
+    radix_comparison,
+    render_radix_comparison,
+)
+from repro.analysis.report import full_report
+from repro.analysis.scaling import ScalingRow, render_scaling, scaling_sweep
+from repro.analysis.table1 import Table1Row, render_table1, table1_data, table1_formulas
+from repro.analysis.table2 import (
+    PAPER_TABLE2,
+    render_table2,
+    table2_data,
+    table2_matches_paper,
+)
+
+__all__ = [
+    "CrossoverPoint",
+    "crossover_sweep",
+    "winning_regions",
+    "render_crossover",
+    "Table1Row",
+    "table1_data",
+    "table1_formulas",
+    "render_table1",
+    "Figure1Data",
+    "figure1_data",
+    "render_figure1",
+    "Figure2Data",
+    "figure2_data",
+    "render_figure2",
+    "PAPER_VALUES",
+    "PAPER_TABLE2",
+    "table2_data",
+    "table2_matches_paper",
+    "render_table2",
+    "Figure3Data",
+    "figure3_data",
+    "render_figure3",
+    "errata_report",
+    "printed_closed_form",
+    "Figure4Data",
+    "figure4_data",
+    "render_figure4",
+    "PAPER_PAIRS",
+    "Figure5Row",
+    "figure5_data",
+    "render_figure5",
+    "full_report",
+    "ScalingRow",
+    "scaling_sweep",
+    "render_scaling",
+    "NetworkPoint",
+    "radix_comparison",
+    "render_radix_comparison",
+    "ascii_plot",
+    "plot_figure5_bandwidth",
+    "plot_figure5_depth",
+]

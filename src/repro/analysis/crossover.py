@@ -1,0 +1,101 @@
+"""Scheme-crossover analysis: which Allreduce wins at which vector size.
+
+Section 7.3's latency/bandwidth trade-off, made operational: under an
+alpha-beta cost model, sweep the vector size and report the winning scheme
+among the in-network embeddings (single tree, low-depth, edge-disjoint)
+and the host-based baselines (ring, recursive doubling, Rabenseifner).
+
+The qualitative shape that must (and does) hold:
+
+- tiny vectors: recursive doubling (host) or the single/low-depth trees —
+  latency dominates;
+- medium vectors: low-depth multi-tree — q/2 of the bandwidth at constant
+  depth-3 fill;
+- huge vectors: edge-disjoint Hamiltonian trees — optimal bandwidth once
+  the (N−1)/2-deep pipeline fill is amortized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collectives.costmodel import CostModel
+from repro.core.plan import build_plan
+
+__all__ = ["CrossoverPoint", "crossover_sweep", "winning_regions", "render_crossover"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Cost of every scheme at one vector size."""
+
+    m: int
+    times: Dict[str, float]
+
+    @property
+    def winner(self) -> str:
+        return min(self.times, key=lambda k: self.times[k])
+
+
+def crossover_sweep(
+    q: int,
+    model: Optional[CostModel] = None,
+    exponents: Sequence[int] = tuple(range(4, 31, 2)),
+    include_host: bool = True,
+) -> List[CrossoverPoint]:
+    """Evaluate every applicable scheme at ``m = 2^e`` for each exponent."""
+    if model is None:
+        model = CostModel(alpha=1000.0, beta=1.0)
+    p = q * q + q + 1
+
+    plans = {}
+    for scheme in ("low-depth" if q % 2 else "low-depth-even", "edge-disjoint"):
+        plans[scheme] = build_plan(q, scheme)
+
+    out: List[CrossoverPoint] = []
+    for e in exponents:
+        m = 1 << e
+        times: Dict[str, float] = {
+            "single-tree": model.in_network_tree(m, 1, 2),
+        }
+        for scheme, plan in plans.items():
+            times[scheme] = model.in_network_tree(
+                m, plan.aggregate_bandwidth, plan.max_depth
+            )
+        if include_host:
+            times["ring"] = model.ring(p, m)
+            times["recursive-doubling"] = model.recursive_doubling(p, m)
+            times["rabenseifner"] = model.rabenseifner(p, m)
+        out.append(CrossoverPoint(m=m, times=times))
+    return out
+
+
+def winning_regions(points: Sequence[CrossoverPoint]) -> List[Tuple[str, int, int]]:
+    """Collapse a sweep into contiguous ``(winner, m_lo, m_hi)`` regions."""
+    regions: List[Tuple[str, int, int]] = []
+    for pt in points:
+        w = pt.winner
+        if regions and regions[-1][0] == w:
+            regions[-1] = (w, regions[-1][1], pt.m)
+        else:
+            regions.append((w, pt.m, pt.m))
+    return regions
+
+
+def render_crossover(q: int, points: Sequence[CrossoverPoint]) -> str:
+    names = sorted(points[0].times) if points else []
+    lines = [
+        f"Allreduce scheme crossover on PolarFly q={q} (alpha-beta model)",
+        f"{'m':>12} " + " ".join(f"{n:>18}" for n in names) + "  winner",
+    ]
+    for pt in points:
+        lines.append(
+            f"{pt.m:>12} "
+            + " ".join(f"{pt.times[n]:>18.0f}" for n in names)
+            + f"  {pt.winner}"
+        )
+    lines.append("regions: " + "; ".join(
+        f"{w} [{lo}..{hi}]" for w, lo, hi in winning_regions(points)
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""E-F1 — Figure 1: the PolarFly cluster layout (paper shows q = 11).
+
+The paper's figure is a drawing; the checkable content is the layout's
+combinatorial structure, which we regenerate and verify against
+Properties 1-3:
+
+- one quadric cluster of ``q + 1`` vertices with no internal edges,
+- ``q`` non-quadric clusters of ``q`` vertices, each center adjacent to all
+  other members,
+- ``q + 1`` edges between each cluster and the quadric cluster,
+- ``q - 2`` edges between every pair of distinct non-quadric clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.topology import polarfly_layout
+
+__all__ = ["Figure1Data", "figure1_data", "render_figure1"]
+
+
+@dataclass(frozen=True)
+class Figure1Data:
+    q: int
+    starter: int
+    quadric_cluster: Tuple[int, ...]
+    centers: Tuple[int, ...]
+    cluster_sizes: Tuple[int, ...]
+    intra_cluster_edges: Tuple[int, ...]
+    edges_to_quadric_cluster: Tuple[int, ...]
+    inter_cluster_edges: Dict[Tuple[int, int], int]
+    properties_hold: bool
+
+
+def figure1_data(q: int = 11) -> Figure1Data:
+    """Regenerate the Figure 1 layout statistics for (odd prime power) q."""
+    lay = polarfly_layout(q)
+    inter = {}
+    for i in range(q):
+        for j in range(i + 1, q):
+            inter[(i, j)] = lay.edges_between_clusters(i, j)
+    intra = tuple(lay.edges_within_cluster(i) for i in range(q))
+    to_w = tuple(lay.edges_to_quadric_cluster(i) for i in range(q))
+    g = lay.pf.graph
+    quadrics_independent = all(
+        not g.has_edge(w1, w2)
+        for a, w1 in enumerate(lay.quadric_cluster)
+        for w2 in lay.quadric_cluster[a + 1 :]
+    )
+    props = (
+        len(lay.quadric_cluster) == q + 1
+        and all(len(c) == q for c in lay.clusters)
+        and quadrics_independent
+        and all(x == q + 1 for x in to_w)
+        and all(v == q - 2 for v in inter.values())
+    )
+    return Figure1Data(
+        q=q,
+        starter=lay.starter,
+        quadric_cluster=lay.quadric_cluster,
+        centers=lay.centers,
+        cluster_sizes=tuple(len(c) for c in lay.clusters),
+        intra_cluster_edges=intra,
+        edges_to_quadric_cluster=to_w,
+        inter_cluster_edges=inter,
+        properties_hold=props,
+    )
+
+
+def render_figure1(d: Figure1Data) -> str:
+    inter_vals = sorted(set(d.inter_cluster_edges.values()))
+    return "\n".join(
+        [
+            f"Figure 1 — PolarFly layout for q={d.q} (starter quadric {d.starter})",
+            f"  quadric cluster W: {len(d.quadric_cluster)} vertices "
+            f"(expected {d.q + 1}), no internal edges",
+            f"  non-quadric clusters: {len(d.centers)} of sizes {set(d.cluster_sizes)} "
+            f"(expected {{{d.q}}})",
+            f"  edges cluster<->W: {set(d.edges_to_quadric_cluster)} (expected {{{d.q + 1}}})",
+            f"  edges between distinct clusters: {inter_vals} (expected [{d.q - 2}])",
+            f"  Properties 1-3: {'OK' if d.properties_hold else 'FAIL'}",
+        ]
+    )

@@ -1,0 +1,83 @@
+"""E-F2 — Figure 2: Singer difference sets, difference tables, reflections.
+
+The paper prints, for q = 3 and q = 4, the difference set, the full
+difference table (every residue 1..N-1 generated exactly once) and the
+reflection points. We regenerate all three and compare with the published
+values (q=3: D={0,1,3,9}, reflections {0,7,8,11}; q=4: D={0,1,4,14,16},
+reflections {0,2,7,8,11}).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.topology import (
+    difference_table,
+    is_perfect_difference_set,
+    reflection_points,
+    singer_difference_set,
+)
+
+__all__ = ["Figure2Data", "figure2_data", "render_figure2", "PAPER_VALUES"]
+
+PAPER_VALUES = {
+    3: {"dset": (0, 1, 3, 9), "reflections": (0, 7, 8, 11)},
+    4: {"dset": (0, 1, 4, 14, 16), "reflections": (0, 2, 7, 8, 11)},
+}
+
+
+@dataclass(frozen=True)
+class Figure2Data:
+    q: int
+    n: int
+    dset: Tuple[int, ...]
+    reflections: Tuple[int, ...]
+    table: Dict[Tuple[int, int], int]
+    is_perfect: bool
+    matches_paper: bool  # only meaningful for q in PAPER_VALUES
+
+
+def figure2_data(q: int) -> Figure2Data:
+    n = q * q + q + 1
+    d = singer_difference_set(q)
+    refl = reflection_points(d, n)
+    table = difference_table(d, n)
+    paper = PAPER_VALUES.get(q)
+    matches = paper is None or (d == paper["dset"] and refl == paper["reflections"])
+    return Figure2Data(
+        q=q,
+        n=n,
+        dset=d,
+        reflections=refl,
+        table=table,
+        is_perfect=is_perfect_difference_set(d, n),
+        matches_paper=matches,
+    )
+
+
+def render_figure2(d: Figure2Data) -> str:
+    """Text rendering including the Figure 2 difference-table grid."""
+    lines = [
+        f"Figure 2 — Singer difference set for q={d.q} (N={d.n})",
+        f"  D = {set(d.dset)}",
+        f"  reflection points (quadrics) = {set(d.reflections)}",
+        f"  perfect difference set: {'OK' if d.is_perfect else 'FAIL'}"
+        + ("" if d.q not in PAPER_VALUES else
+           f"; matches paper: {'OK' if d.matches_paper else 'FAIL'}"),
+        "  difference table (row - column mod N):",
+    ]
+    width = max(3, len(str(d.n)))
+    header = " " * (width + 2) + " ".join(f"{dj:>{width}}" for dj in d.dset)
+    lines.append("  " + header)
+    for di in d.dset:
+        row = [f"{di:>{width}} |"]
+        for dj in d.dset:
+            row.append(f"{'.':>{width}}" if di == dj else f"{d.table[(di, dj)]:>{width}}")
+        lines.append("  " + " ".join(row))
+    covered = sorted(d.table.values())
+    lines.append(
+        f"  residues generated: 1..{d.n - 1} each exactly once: "
+        f"{'OK' if covered == list(range(1, d.n)) else 'FAIL'}"
+    )
+    return "\n".join(lines)

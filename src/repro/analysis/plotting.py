@@ -1,0 +1,106 @@
+"""Dependency-free ASCII line plots for the analysis outputs.
+
+The repository has no plotting dependencies, so the figure regenerators
+emit tables; this module adds a terminal rendering of the Figure 5 curves
+(and any (x, series) data) that makes the shapes — the Hamiltonian
+solution pinned at 1.0, the low-depth curve approaching it, constant vs
+quadratic depth — visible at a glance in CI logs and reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot", "plot_figure5_bandwidth", "plot_figure5_depth"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render one or more series over common x values as an ASCII chart.
+
+    ``None`` values are skipped. With ``logy``, y values must be positive.
+    """
+    if not xs or not series:
+        raise ValueError("need x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    vals = [ty(v) for ys in series.values() for v in ys if v is not None]
+    if not vals:
+        raise ValueError("all series are empty")
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(sorted(series.items())):
+        mark = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(y) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** hi if logy else hi):.4g}"
+    bot = f"{(10 ** lo if logy else lo):.4g}"
+    for r, row in enumerate(grid):
+        label = top if r == 0 else (bot if r == height - 1 else "")
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    lines.append(" " * 11 + "-" * (width + 2))
+    lines.append(f"{'':>10}  x: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(f"{'':>10}  {legend}")
+    return "\n".join(lines)
+
+
+def plot_figure5_bandwidth(rows) -> str:
+    """Figure 5a as an ASCII chart (normalized bandwidth vs radix)."""
+    xs = [r.radix for r in rows]
+    series = {
+        "hamiltonian": [float(r.hamiltonian_norm_bw) for r in rows],
+        "low-depth": [
+            None if r.lowdepth_norm_bw is None else float(r.lowdepth_norm_bw)
+            for r in rows
+        ],
+    }
+    return ascii_plot(
+        xs, series, title="Figure 5a — Allreduce bandwidth / optimal vs radix"
+    )
+
+
+def plot_figure5_depth(rows) -> str:
+    """Figure 5b as an ASCII chart (tree depth vs radix, log y)."""
+    xs = [r.radix for r in rows]
+    series = {
+        "hamiltonian": [float(r.hamiltonian_depth) for r in rows],
+        "low-depth": [
+            None if r.lowdepth_depth is None else float(r.lowdepth_depth)
+            for r in rows
+        ],
+    }
+    return ascii_plot(
+        xs, series, title="Figure 5b — tree depth vs radix (log scale)", logy=True
+    )

@@ -1,0 +1,126 @@
+"""Equal-radix network comparison — the paper's Section 1.3 positioning.
+
+For a given router radix ``r``, compares the networks the paper names
+(PolarFly, hypercube, k-ary tori, 2D HyperX) on the axes that matter for
+in-network Allreduce:
+
+- **scale**: nodes reachable at that radix (PolarFly: ``q^2 + q + 1`` with
+  ``q = r - 1`` — asymptotically the Moore-bound-like quadratic, vs
+  ``2^r`` for hypercubes *but* hypercubes need radix log2(N), vs
+  ``k^D`` for tori at radix ``2D``);
+- **diameter** (latency floor for any embedding);
+- **zero-congestion Allreduce bandwidth**: the spanning-tree packing
+  bound ``⌊m / (N-1)⌋`` and what constructions achieve — PolarFly's
+  ``⌊(q+1)/2⌋ ≈ r/2`` (Theorem 7.19), matched in *shape* by every
+  regular network at ``~r/2``, so scale and diameter are the
+  differentiators;
+- **low-depth multi-tree depth**: 3 on PolarFly (Algorithm 3) vs the
+  diameter-bound depth elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.utils.numbertheory import is_prime_power
+
+__all__ = ["NetworkPoint", "radix_comparison", "render_radix_comparison"]
+
+
+@dataclass(frozen=True)
+class NetworkPoint:
+    network: str
+    radix: int
+    nodes: int
+    diameter: int
+    disjoint_tree_bound: int  # floor(m / (N-1)) — zero-congestion tree cap
+    low_depth_tree_depth: Optional[int]  # depth of the known low-depth sets
+
+
+def _polarfly_point(r: int) -> Optional[NetworkPoint]:
+    q = r - 1
+    if not is_prime_power(q):
+        return None
+    n = q * q + q + 1
+    m = q * (q + 1) ** 2 // 2
+    return NetworkPoint(
+        network="PolarFly",
+        radix=r,
+        nodes=n,
+        diameter=2,
+        disjoint_tree_bound=m // (n - 1),
+        low_depth_tree_depth=3,
+    )
+
+
+def _hypercube_point(r: int) -> NetworkPoint:
+    n = 1 << r
+    m = r * n // 2
+    return NetworkPoint(
+        network="Hypercube",
+        radix=r,
+        nodes=n,
+        diameter=r,
+        disjoint_tree_bound=m // (n - 1),
+        low_depth_tree_depth=r,  # any spanning tree reaches the antipode
+    )
+
+
+def _torus_point(r: int, k: int = 4) -> Optional[NetworkPoint]:
+    if r % 2:
+        return None
+    d = r // 2
+    n = k**d
+    m = d * n  # k > 2: each node has 2 links per dim, each link shared by 2
+    return NetworkPoint(
+        network=f"{k}-ary torus",
+        radix=r,
+        nodes=n,
+        diameter=d * (k // 2),
+        disjoint_tree_bound=m // (n - 1),
+        low_depth_tree_depth=d * (k // 2),
+    )
+
+
+def _hyperx_point(r: int) -> Optional[NetworkPoint]:
+    # 2D symmetric HyperX with side s: radix 2(s-1)
+    if r % 2:
+        return None
+    s = r // 2 + 1
+    n = s * s
+    m = n * (s - 1)  # each node: 2(s-1) links / 2
+    return NetworkPoint(
+        network="HyperX 2D",
+        radix=r,
+        nodes=n,
+        diameter=2,
+        disjoint_tree_bound=m // (n - 1),
+        low_depth_tree_depth=2,
+    )
+
+
+def radix_comparison(radix: int) -> List[NetworkPoint]:
+    """All comparable networks at the given router radix."""
+    points = []
+    for builder in (_polarfly_point, _hyperx_point, _torus_point, _hypercube_point):
+        p = builder(radix)
+        if p is not None:
+            points.append(p)
+    return points
+
+
+def render_radix_comparison(radixes: Sequence[int]) -> str:
+    lines = [
+        "Equal-radix network comparison (Section 1.3 positioning)",
+        f"{'radix':>6} {'network':>12} {'nodes':>8} {'diameter':>9} "
+        f"{'disjoint trees':>15} {'low-depth':>10}",
+    ]
+    for r in radixes:
+        for p in radix_comparison(r):
+            ld = "-" if p.low_depth_tree_depth is None else str(p.low_depth_tree_depth)
+            lines.append(
+                f"{p.radix:>6} {p.network:>12} {p.nodes:>8} {p.diameter:>9} "
+                f"{p.disjoint_tree_bound:>15} {ld:>10}"
+            )
+    return "\n".join(lines)

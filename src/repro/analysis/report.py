@@ -1,0 +1,45 @@
+"""One-stop regeneration of every paper artifact (used by EXPERIMENTS.md).
+
+``python -m repro.analysis.report`` prints all tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.figure1 import figure1_data, render_figure1
+from repro.analysis.figure2 import figure2_data, render_figure2
+from repro.analysis.figure3 import figure3_data, render_figure3
+from repro.analysis.figure4 import figure4_data, render_figure4
+from repro.analysis.figure5 import figure5_data, render_figure5
+from repro.analysis.table1 import render_table1, table1_data
+from repro.analysis.table2 import render_table2, table2_data
+
+__all__ = ["full_report"]
+
+
+def full_report(q_hi: int = 128, figure1_q: int = 11) -> str:
+    """Regenerate every table/figure of the paper as one text report."""
+    sections: List[str] = []
+    sections.append(render_table1(table1_data([3, 5, 7, 9, 11, 13])))
+    sections.append(render_figure1(figure1_data(figure1_q)))
+    sections.append(render_figure2(figure2_data(3)))
+    sections.append(render_figure2(figure2_data(4)))
+    sections.append(render_figure3(figure3_data(min(figure1_q, 11))))
+    sections.append(render_table2(table2_data(4)))
+    sections.append(render_figure4(figure4_data(3)))
+    sections.append(render_figure4(figure4_data(4)))
+    rows5 = figure5_data(3, q_hi)
+    sections.append(render_figure5(rows5))
+    from repro.analysis.plotting import plot_figure5_bandwidth, plot_figure5_depth
+
+    sections.append(plot_figure5_bandwidth(rows5))
+    sections.append(plot_figure5_depth(rows5))
+    from repro.analysis.errata import errata_report
+
+    sections.append(errata_report())
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(full_report())

@@ -1,0 +1,86 @@
+"""System-size scaling study: Allreduce time vs machine size per scheme.
+
+The classic HPC scaling views, over the PolarFly radix sweep:
+
+- **strong scaling**: a fixed global vector (e.g. one model's gradients)
+  reduced on ever larger machines — in-network multi-tree time *falls*
+  with radix (aggregate bandwidth grows ~q/2) while host-based ring time
+  *rises* (rounds grow with N);
+- **weak scaling**: vector size proportional to node count — the
+  multi-tree schemes stay ~flat per node while latency-bound algorithms
+  degrade.
+
+This quantifies the paper's Section 1 positioning of PolarFly for
+distributed training at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.collectives.costmodel import CostModel
+from repro.core.bandwidth import optimal_bandwidth
+from repro.utils.numbertheory import prime_powers_in_range
+
+__all__ = ["ScalingRow", "scaling_sweep", "render_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    q: int
+    nodes: int
+    m: int
+    times: Dict[str, float]
+
+
+def _scheme_times(q: int, m: int, model: CostModel) -> Dict[str, float]:
+    p = q * q + q + 1
+    # closed forms (validated against the constructions elsewhere): the
+    # sweep must stay cheap at every radix
+    low_depth_bw = (q - 1) / 2 if q % 2 == 0 else q / 2
+    ham_bw = (q + 1) // 2
+    ham_depth = (p - 1) // 2
+    return {
+        "ring": model.ring(p, m),
+        "recursive-doubling": model.recursive_doubling(p, m),
+        "rabenseifner": model.rabenseifner(p, m),
+        "single-tree": model.in_network_tree(m, 1, 2),
+        "low-depth": model.in_network_tree(m, low_depth_bw, 3),
+        "edge-disjoint": model.in_network_tree(m, ham_bw, ham_depth),
+    }
+
+
+def scaling_sweep(
+    q_lo: int = 3,
+    q_hi: int = 64,
+    m_per_node: Optional[int] = None,
+    m_total: Optional[int] = None,
+    model: Optional[CostModel] = None,
+) -> List[ScalingRow]:
+    """Sweep prime powers; exactly one of ``m_per_node`` (weak scaling) or
+    ``m_total`` (strong scaling) must be given."""
+    if (m_per_node is None) == (m_total is None):
+        raise ValueError("specify exactly one of m_per_node / m_total")
+    if model is None:
+        model = CostModel(alpha=1000.0, beta=1.0)
+    rows: List[ScalingRow] = []
+    for q in prime_powers_in_range(q_lo, q_hi):
+        p = q * q + q + 1
+        m = m_total if m_total is not None else m_per_node * p
+        rows.append(ScalingRow(q=q, nodes=p, m=m, times=_scheme_times(q, m, model)))
+    return rows
+
+
+def render_scaling(rows: Sequence[ScalingRow], title: str = "scaling") -> str:
+    names = sorted(rows[0].times) if rows else []
+    lines = [
+        f"Allreduce {title}: time vs machine size (alpha-beta model)",
+        f"{'q':>4} {'nodes':>6} {'m':>12} " + " ".join(f"{n:>18}" for n in names),
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.q:>4} {r.nodes:>6} {r.m:>12} "
+            + " ".join(f"{r.times[n]:>18.0f}" for n in names)
+        )
+    return "\n".join(lines)

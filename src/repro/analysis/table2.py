@@ -1,0 +1,48 @@
+"""E-T2 — Table 2: all non-Hamiltonian maximal alternating-sum paths in S_4.
+
+The paper tabulates, for the q=4 difference set {0,1,4,14,16} over Z_21,
+every unordered pair whose maximal alternating-sum path is not Hamiltonian:
+(d0, d1, gcd(d0-d1, N), k, endpoints). Expected rows:
+
+    (0, 14): gcd 7, k 3,  endpoints {7, 0}
+    (1, 4):  gcd 3, k 7,  endpoints {2, 11}
+    (1, 16): gcd 3, k 7,  endpoints {8, 11}
+    (4, 16): gcd 3, k 7,  endpoints {8, 2}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trees import MaximalPathSummary, all_maximal_path_summaries
+
+__all__ = ["PAPER_TABLE2", "table2_data", "table2_matches_paper", "render_table2"]
+
+# (d0, d1) -> (gcd, k, {endpoints})
+PAPER_TABLE2: Dict[Tuple[int, int], Tuple[int, int, frozenset]] = {
+    (0, 14): (7, 3, frozenset({7, 0})),
+    (1, 4): (3, 7, frozenset({2, 11})),
+    (1, 16): (3, 7, frozenset({8, 11})),
+    (4, 16): (3, 7, frozenset({8, 2})),
+}
+
+
+def table2_data(q: int = 4) -> List[MaximalPathSummary]:
+    """The non-Hamiltonian maximal-path rows for ``S_q`` (paper: q=4)."""
+    return all_maximal_path_summaries(q, hamiltonian=False)
+
+
+def table2_matches_paper(rows: Sequence[MaximalPathSummary]) -> bool:
+    got = {(s.d0, s.d1): (s.gcd, s.k, frozenset({s.start, s.end})) for s in rows}
+    return got == PAPER_TABLE2
+
+
+def render_table2(rows: Sequence[MaximalPathSummary]) -> str:
+    lines = [
+        "Table 2 — non-Hamiltonian maximal alternating-sum paths over S_4",
+        f"{'d0':>4} {'d1':>4} {'gcd':>5} {'k':>4} {'b1':>4} {'bk':>4}",
+    ]
+    for s in rows:
+        lines.append(f"{s.d0:>4} {s.d1:>4} {s.gcd:>5} {s.k:>4} {s.start:>4} {s.end:>4}")
+    lines.append(f"matches paper: {'OK' if table2_matches_paper(rows) else 'FAIL'}")
+    return "\n".join(lines)

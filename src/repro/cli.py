@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info Q``          topology summary for PolarFly of parameter Q
+``plan Q``          build an embedding plan and print its metrics
+``simulate Q``      run the cycle-level simulator against the model
+``report``          regenerate every paper table/figure as text
+``export Q``        emit DOT/GraphML for the topology or an embedding
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="In-network Allreduce with multiple spanning trees on PolarFly "
+        "(SPAA '23 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("info", help="topology summary")
+    s.add_argument("q", type=int, help="prime-power PolarFly parameter")
+
+    s = sub.add_parser("plan", help="build an Allreduce embedding plan")
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("--bandwidth", type=int, default=1, help="link bandwidth B")
+    s.add_argument("-m", type=int, default=0, help="vector size to partition")
+
+    s = sub.add_parser("simulate", help="cycle-level flit simulation")
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("-m", type=int, default=600, help="total flits")
+
+    s = sub.add_parser("report", help="regenerate all paper tables/figures")
+    s.add_argument("--qmax", type=int, default=128)
+    s.add_argument("--figure1-q", type=int, default=11)
+
+    s = sub.add_parser("config", help="emit per-router fabric configuration JSON")
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "low-depth-even", "edge-disjoint", "single"))
+    s.add_argument("-o", "--output", default=None, help="output file (default stdout)")
+
+    s = sub.add_parser("export", help="export topology/embedding drawings")
+    s.add_argument("q", type=int)
+    s.add_argument("--what", default="er", choices=("er", "singer", "trees"))
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("--format", default="dot", choices=("dot", "graphml"))
+    s.add_argument("-o", "--output", default=None, help="output file (default stdout)")
+    return p
+
+
+def _cmd_info(args) -> int:
+    from repro.topology import polarfly_graph, singer_graph
+
+    pf = polarfly_graph(args.q)
+    sg = singer_graph(args.q)
+    print(f"PolarFly ER_{args.q}: N={pf.n}, radix={pf.radix}, "
+          f"edges={pf.graph.num_edges}")
+    print(f"vertex classes: {pf.counts()}")
+    print(f"Singer difference set: {set(sg.dset)} over Z_{sg.n}")
+    print(f"reflection points: {set(sg.reflections)}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core import build_plan, optimal_bandwidth
+
+    plan = build_plan(args.q, args.scheme, link_bandwidth=args.bandwidth)
+    print(f"scheme={args.scheme} q={args.q}: {plan.num_trees} trees")
+    print(f"  depth={plan.max_depth} congestion={plan.max_congestion} "
+          f"vcs={plan.vcs_required}")
+    print(f"  aggregate bandwidth {plan.aggregate_bandwidth} "
+          f"(optimal {optimal_bandwidth(args.q, args.bandwidth)}, "
+          f"normalized {float(plan.normalized_bandwidth):.4f})")
+    if args.m:
+        parts = plan.partition(args.m)
+        print(f"  partition of m={args.m}: {parts}")
+        print(f"  estimated time (hop latency 1): "
+              f"{float(plan.estimated_time(args.m, 1)):.1f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core import build_plan
+    from repro.simulator import fluid_simulate, simulate_allreduce
+
+    plan = build_plan(args.q, args.scheme)
+    parts = plan.partition(args.m)
+    stats = simulate_allreduce(plan.topology, plan.trees, parts)
+    fluid = fluid_simulate(plan.topology, plan.trees, args.m, hop_latency=1)
+    print(f"scheme={args.scheme} q={args.q} m={args.m}")
+    print(f"  measured: {stats.cycles} cycles, "
+          f"aggregate bandwidth {stats.aggregate_bandwidth:.3f} flits/cycle")
+    print(f"  predicted: {float(fluid.makespan):.0f} cycles, "
+          f"Algorithm 1 bound {float(plan.aggregate_bandwidth):.3f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import full_report
+
+    print(full_report(q_hi=args.qmax, figure1_q=args.figure1_q))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.topology import polarfly_graph, singer_graph
+    from repro.topology.export import (
+        embedding_to_dot,
+        graph_to_dot,
+        graph_to_graphml,
+        singer_to_dot,
+    )
+
+    if args.what == "trees":
+        from repro.core import build_plan
+
+        plan = build_plan(args.q, args.scheme)
+        if args.format != "dot":
+            print("tree embeddings are exported as DOT only", file=sys.stderr)
+            return 2
+        text = embedding_to_dot(plan.topology, plan.trees)
+    elif args.what == "singer":
+        sg = singer_graph(args.q)
+        if args.format == "graphml":
+            if not args.output:
+                print("--format graphml requires -o", file=sys.stderr)
+                return 2
+            graph_to_graphml(sg.graph, args.output)
+            return 0
+        text = singer_to_dot(sg)
+    else:
+        pf = polarfly_graph(args.q)
+        if args.format == "graphml":
+            if not args.output:
+                print("--format graphml requires -o", file=sys.stderr)
+                return 2
+            graph_to_graphml(pf.graph, args.output)
+            return 0
+        labels = {v: f"{v}:{pf.vertex_type(v)}" for v in range(pf.n)}
+        text = graph_to_dot(pf.graph, node_labels=labels)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_config(args) -> int:
+    from repro.core import build_plan
+    from repro.simulator import generate_fabric_config
+
+    plan = build_plan(args.q, args.scheme)
+    text = generate_fabric_config(plan.topology, plan.trees).to_json()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "plan": _cmd_plan,
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "config": _cmd_config,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # stdout consumer (e.g. `| head`) went away
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Host-based Allreduce baselines and cost models (Sections 4.2, 8).
+
+Executable implementations (ring, recursive doubling, Rabenseifner) that
+run numerically on NumPy buffers and record their message schedules, plus
+alpha-beta cost models and congestion-aware traffic accounting over the
+physical topology.
+"""
+
+from repro.collectives.costmodel import AllreduceCost, CostModel
+from repro.collectives.host import (
+    Message,
+    Transcript,
+    transcript_cost,
+    transcript_link_loads,
+)
+from repro.collectives.recursive import (
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+)
+from repro.collectives.ring import ring_allreduce, ring_chunks
+from repro.collectives.torus import (
+    torus_allreduce,
+    torus_multiport_cost,
+    torus_sequential_cost,
+)
+
+__all__ = [
+    "CostModel",
+    "AllreduceCost",
+    "Message",
+    "Transcript",
+    "transcript_link_loads",
+    "transcript_cost",
+    "ring_allreduce",
+    "ring_chunks",
+    "recursive_doubling_allreduce",
+    "rabenseifner_allreduce",
+    "torus_allreduce",
+    "torus_sequential_cost",
+    "torus_multiport_cost",
+]

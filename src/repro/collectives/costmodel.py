@@ -1,0 +1,115 @@
+"""Alpha-beta(-gamma) cost models for Allreduce algorithms (Sections 4.2, 8).
+
+Classic closed forms (Thakur & Gropp; Rabenseifner; Patarasuk & Yuan) for the
+host-based baselines, plus the pipelined in-network multi-tree cost, so the
+crossover behavior the paper motivates — host-based algorithms pay multiple
+communication rounds and full-vector traffic per node; in-network trees pay
+one injection at aggregate bandwidth ``sum B_i`` — can be compared under one
+model.
+
+``alpha``: per-message startup latency. ``beta``: per-element transfer time
+(inverse link bandwidth). ``gamma``: per-element reduction compute time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+__all__ = ["CostModel", "AllreduceCost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine parameters of the alpha-beta-gamma model."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 0.0
+
+    def _check(self, p: int, m: int) -> None:
+        if p < 1:
+            raise ValueError("need at least one process")
+        if m < 0:
+            raise ValueError("vector size must be non-negative")
+
+    # ----------------------------------------------------- host algorithms
+
+    def ring(self, p: int, m: int) -> float:
+        """Ring Allreduce (reduce-scatter + all-gather), bandwidth-optimal:
+        ``2 (P-1) alpha + 2 (P-1)/P m beta + (P-1)/P m gamma``."""
+        self._check(p, m)
+        if p == 1:
+            return 0.0
+        return (
+            2 * (p - 1) * self.alpha
+            + 2 * (p - 1) / p * m * self.beta
+            + (p - 1) / p * m * self.gamma
+        )
+
+    def recursive_doubling(self, p: int, m: int) -> float:
+        """Latency-optimal recursive doubling:
+        ``ceil(log2 P) (alpha + m beta + m gamma)`` plus a fold/unfold round
+        when ``P`` is not a power of two."""
+        self._check(p, m)
+        if p == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(p))
+        cost = rounds * (self.alpha + m * self.beta + m * self.gamma)
+        if p & (p - 1):  # not a power of two: pre-fold + post-send
+            cost += 2 * self.alpha + 2 * m * self.beta + m * self.gamma
+        return cost
+
+    def rabenseifner(self, p: int, m: int) -> float:
+        """Recursive halving reduce-scatter + recursive doubling all-gather:
+        ``2 log2(P) alpha + 2 (P-1)/P m beta + (P-1)/P m gamma`` (power-of-2
+        form, plus the non-power-of-2 fold like recursive doubling)."""
+        self._check(p, m)
+        if p == 1:
+            return 0.0
+        rounds = math.floor(math.log2(p))
+        pof2 = 1 << rounds
+        cost = (
+            2 * rounds * self.alpha
+            + 2 * (pof2 - 1) / pof2 * m * self.beta
+            + (pof2 - 1) / pof2 * m * self.gamma
+        )
+        if p != pof2:
+            cost += 2 * self.alpha + 2 * m * self.beta + m * self.gamma
+        return cost
+
+    # ------------------------------------------------ in-network pipelines
+
+    def in_network_tree(
+        self, m: int, aggregate_bandwidth: Number, depth: int, hops_latency_factor: float = 2.0
+    ) -> float:
+        """Pipelined in-network multi-tree Allreduce: one pipeline fill of
+        ``hops_latency_factor * depth`` hop latencies plus streaming at the
+        Theorem 5.1 aggregate bandwidth (in elements per ``beta``)."""
+        if m < 0:
+            raise ValueError("vector size must be non-negative")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        bw = float(aggregate_bandwidth)
+        if bw <= 0:
+            raise ValueError("aggregate bandwidth must be positive")
+        return hops_latency_factor * depth * self.alpha + m * self.beta / bw
+
+
+@dataclass(frozen=True)
+class AllreduceCost:
+    """A labelled cost sample (used by the comparison benches)."""
+
+    algorithm: str
+    p: int
+    m: int
+    time: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved Allreduce bandwidth in elements per unit time."""
+        return self.m / self.time if self.time > 0 else math.inf

@@ -1,0 +1,82 @@
+"""Host-based Allreduce machinery: message transcripts and traffic accounting.
+
+The host-based baselines (ring, recursive doubling, Rabenseifner) execute as
+rounds of point-to-point messages between compute nodes. Unlike the
+in-network trees, their logical neighbors are generally *not* physical
+neighbors, so every message is routed over the topology (Theorem 6.1
+minimal routing) and can congest links. This module provides:
+
+- :class:`Transcript` — the recorded message schedule of one execution;
+- :func:`transcript_link_loads` — per-round physical link loads under
+  minimal routing;
+- :func:`transcript_cost` — an alpha-beta time estimate that charges each
+  round its worst link load (congestion-aware, Section 1.2's argument for
+  why careless embeddings lose their data-parallel speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.collectives.costmodel import CostModel
+from repro.topology.graph import Graph
+from repro.topology.routing import route_edges
+
+Message = Tuple[int, int, int]  # (src, dst, number of elements)
+
+__all__ = ["Message", "Transcript", "transcript_link_loads", "transcript_cost"]
+
+
+@dataclass
+class Transcript:
+    """Message rounds recorded by a host-based Allreduce execution."""
+
+    algorithm: str
+    p: int
+    m: int
+    rounds: List[List[Message]] = field(default_factory=list)
+
+    def begin_round(self) -> None:
+        self.rounds.append([])
+
+    def send(self, src: int, dst: int, nelem: int) -> None:
+        if not self.rounds:
+            self.begin_round()
+        if nelem > 0 and src != dst:
+            self.rounds[-1].append((src, dst, nelem))
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(1 for r in self.rounds if r)
+
+    @property
+    def total_volume(self) -> int:
+        """Total elements moved end-to-end (not counting multi-hop fanout)."""
+        return sum(n for r in self.rounds for _, _, n in r)
+
+    def max_message(self) -> int:
+        return max((n for r in self.rounds for _, _, n in r), default=0)
+
+
+def transcript_link_loads(g: Graph, transcript: Transcript) -> List[Dict[Tuple[int, int], int]]:
+    """Per-round element load on every physical link under minimal routing."""
+    out: List[Dict[Tuple[int, int], int]] = []
+    for rnd in transcript.rounds:
+        load: Dict[Tuple[int, int], int] = {}
+        for src, dst, n in rnd:
+            for e in route_edges(g, src, dst):
+                load[e] = load.get(e, 0) + n
+        out.append(load)
+    return out
+
+
+def transcript_cost(g: Graph, transcript: Transcript, model: CostModel) -> float:
+    """Congestion-aware alpha-beta estimate: each round costs one startup
+    plus ``beta`` times the worst per-link element load in that round."""
+    total = 0.0
+    for load in transcript_link_loads(g, transcript):
+        if not load:
+            continue
+        total += model.alpha + model.beta * max(load.values())
+    return total

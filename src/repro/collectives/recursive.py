@@ -1,0 +1,161 @@
+"""Recursive doubling and Rabenseifner (halving+doubling) Allreduce.
+
+The latency-optimal and the large-vector host-based classics (Section 4.2),
+implemented for arbitrary process counts with the standard MPICH-style
+power-of-two fold: with ``r = 2^floor(log2 P)`` and ``rem = P - r``, the
+first ``2 rem`` nodes pre-combine in pairs (even ranks hand their vector to
+the odd neighbor and sit out), the ``r`` survivors run the power-of-two
+algorithm, and the result is fanned back out.
+
+Both functions execute numerically on ``(P, m)`` NumPy arrays and can
+record their message schedule into a :class:`Transcript` for
+congestion-aware cost accounting on a physical topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.host import Transcript
+
+__all__ = ["recursive_doubling_allreduce", "rabenseifner_allreduce"]
+
+
+def _fold_prologue(buf: np.ndarray, transcript: Optional[Transcript], op) -> Tuple[int, Dict[int, int]]:
+    """MPICH non-power-of-two pre-phase. Returns ``(r, newrank->node)``."""
+    p = buf.shape[0]
+    r = 1 << (p.bit_length() - 1)
+    if r == p:
+        return r, {i: i for i in range(p)}
+    rem = p - r
+    if transcript is not None:
+        transcript.begin_round()
+    for i in range(0, 2 * rem, 2):
+        buf[i + 1] = op(buf[i + 1], buf[i])
+        if transcript is not None:
+            transcript.send(i, i + 1, buf.shape[1])
+    mapping = {}
+    for i in range(rem):
+        mapping[i] = 2 * i + 1
+    for i in range(rem, r):
+        mapping[i] = i + rem
+    return r, mapping
+
+
+def _fold_epilogue(buf: np.ndarray, transcript: Optional[Transcript]) -> None:
+    """Send the final result back to the folded-out even ranks."""
+    p = buf.shape[0]
+    r = 1 << (p.bit_length() - 1)
+    if r == p:
+        return
+    rem = p - r
+    if transcript is not None:
+        transcript.begin_round()
+    for i in range(0, 2 * rem, 2):
+        buf[i] = buf[i + 1]
+        if transcript is not None:
+            transcript.send(i + 1, i, buf.shape[1])
+
+
+def recursive_doubling_allreduce(
+    inputs: np.ndarray, transcript: Optional[Transcript] = None, op=np.add
+) -> np.ndarray:
+    """Recursive doubling: ``log2 r`` rounds of full-vector pairwise
+    exchange between ranks differing in one bit."""
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 2:
+        raise ValueError(f"inputs must be (P, m); got shape {inputs.shape}")
+    p, m = inputs.shape
+    buf = inputs.copy()
+    if p == 1:
+        return buf
+    r, node_of = _fold_prologue(buf, transcript, op)
+
+    mask = 1
+    while mask < r:
+        if transcript is not None:
+            transcript.begin_round()
+        snapshots = {nr: buf[node_of[nr]].copy() for nr in range(r)}
+        for nr in range(r):
+            partner = nr ^ mask
+            buf[node_of[nr]] = op(buf[node_of[nr]], snapshots[partner])
+            if transcript is not None:
+                transcript.send(node_of[partner], node_of[nr], m)
+        mask <<= 1
+
+    _fold_epilogue(buf, transcript)
+    return buf
+
+
+def rabenseifner_allreduce(
+    inputs: np.ndarray, transcript: Optional[Transcript] = None, op=np.add
+) -> np.ndarray:
+    """Rabenseifner's algorithm: recursive-halving reduce-scatter followed
+    by recursive-doubling all-gather — ``2 (r-1)/r m`` traffic per node.
+
+    Vector ranges are tracked per participant; ranges split at element
+    midpoints, so no divisibility requirement on ``m``.
+    """
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 2:
+        raise ValueError(f"inputs must be (P, m); got shape {inputs.shape}")
+    p, m = inputs.shape
+    buf = inputs.copy()
+    if p == 1:
+        return buf
+    r, node_of = _fold_prologue(buf, transcript, op)
+    if r == 1:
+        _fold_epilogue(buf, transcript)
+        return buf
+
+    lo = {nr: 0 for nr in range(r)}
+    hi = {nr: m for nr in range(r)}
+    split_history: List[int] = []
+
+    # ----- reduce-scatter by recursive halving (farthest partner first)
+    step = r >> 1
+    while step >= 1:
+        if transcript is not None:
+            transcript.begin_round()
+        split_history.append(step)
+        snapshots = {nr: buf[node_of[nr]].copy() for nr in range(r)}
+        for nr in range(r):
+            partner = nr ^ step
+            a, b = lo[nr], hi[nr]
+            mid = a + (b - a) // 2
+            if nr < partner:
+                # keep [a, mid): receive partner's partial of it
+                buf[node_of[nr], a:mid] = op(
+                    buf[node_of[nr], a:mid], snapshots[partner][a:mid]
+                )
+                if transcript is not None:
+                    transcript.send(node_of[partner], node_of[nr], mid - a)
+                hi[nr] = mid
+            else:
+                buf[node_of[nr], mid:b] = op(
+                    buf[node_of[nr], mid:b], snapshots[partner][mid:b]
+                )
+                if transcript is not None:
+                    transcript.send(node_of[partner], node_of[nr], b - mid)
+                lo[nr] = mid
+        step >>= 1
+
+    # ----- all-gather by recursive doubling (reverse the splits)
+    for step in reversed(split_history):
+        if transcript is not None:
+            transcript.begin_round()
+        snapshots = {nr: (lo[nr], hi[nr], buf[node_of[nr], lo[nr]:hi[nr]].copy())
+                     for nr in range(r)}
+        for nr in range(r):
+            partner = nr ^ step
+            pa, pb, data = snapshots[partner]
+            buf[node_of[nr], pa:pb] = data
+            if transcript is not None:
+                transcript.send(node_of[partner], node_of[nr], pb - pa)
+            lo[nr] = min(lo[nr], pa)
+            hi[nr] = max(hi[nr], pb)
+
+    _fold_epilogue(buf, transcript)
+    return buf

@@ -1,0 +1,86 @@
+"""Ring Allreduce — the bandwidth-optimal host-based baseline (Section 4.2).
+
+Reduce-scatter pass: for ``P-1`` steps, node ``i`` sends the chunk it just
+finished accumulating to ``(i+1) mod P``; afterwards node ``i`` holds the
+fully reduced chunk ``(i+1) mod P``. All-gather pass: the reduced chunks
+circulate for another ``P-1`` steps. Total traffic per node is
+``2 (P-1)/P m`` — bandwidth optimal, but ``2(P-1)`` latency-bound rounds
+and host-side data movement per round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.host import Transcript
+
+__all__ = ["ring_allreduce", "ring_chunks"]
+
+
+def ring_chunks(p: int, m: int) -> List[Tuple[int, int]]:
+    """Split ``m`` elements into ``P`` contiguous chunks (first ``m % P``
+    chunks one element larger); returns (start, stop) pairs."""
+    base, extra = divmod(m, p)
+    bounds = []
+    start = 0
+    for i in range(p):
+        width = base + (1 if i < extra else 0)
+        bounds.append((start, start + width))
+        start += width
+    return bounds
+
+
+def ring_allreduce(
+    inputs: np.ndarray, transcript: Optional[Transcript] = None, op=np.add
+) -> np.ndarray:
+    """Execute ring Allreduce on ``inputs`` of shape ``(P, m)``.
+
+    Returns the ``(P, m)`` result (every row equals the reduction). Records
+    the message schedule into ``transcript`` when given.
+    """
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 2:
+        raise ValueError(f"inputs must be (P, m); got shape {inputs.shape}")
+    p, m = inputs.shape
+    buf = inputs.copy()
+    if p == 1:
+        return buf
+    chunks = ring_chunks(p, m)
+
+    def width(c: int) -> int:
+        lo, hi = chunks[c]
+        return hi - lo
+
+    # ----- reduce-scatter: node i sends chunk (i - s) mod P at step s
+    for s in range(p - 1):
+        if transcript is not None:
+            transcript.begin_round()
+        sends = []
+        for i in range(p):
+            c = (i - s) % p
+            lo, hi = chunks[c]
+            sends.append((i, (i + 1) % p, c, buf[i, lo:hi].copy()))
+        for src, dst, c, data in sends:
+            lo, hi = chunks[c]
+            buf[dst, lo:hi] = op(buf[dst, lo:hi], data)
+            if transcript is not None:
+                transcript.send(src, dst, hi - lo)
+
+    # ----- all-gather: node i forwards its freshest complete chunk
+    for s in range(p - 1):
+        if transcript is not None:
+            transcript.begin_round()
+        sends = []
+        for i in range(p):
+            c = (i + 1 - s) % p
+            lo, hi = chunks[c]
+            sends.append((i, (i + 1) % p, c, buf[i, lo:hi].copy()))
+        for src, dst, c, data in sends:
+            lo, hi = chunks[c]
+            buf[dst, lo:hi] = data
+            if transcript is not None:
+                transcript.send(src, dst, hi - lo)
+
+    return buf

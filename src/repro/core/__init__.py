@@ -1,0 +1,40 @@
+"""Core contribution: the congestion/bandwidth model and Allreduce plans.
+
+- :func:`tree_bandwidths` — Algorithm 1 (performance under congestion).
+- :func:`aggregate_bandwidth` / :func:`optimal_bandwidth` — Theorem 5.1 and
+  Corollary 7.1.
+- :func:`optimal_partition` — the Equation 2 sub-vector split.
+- :func:`build_plan` / :class:`AllreducePlan` — end-to-end embeddings.
+"""
+
+from repro.core.allreduce import InNetworkCollectives, ReducedSlice
+from repro.core.faults import affected_trees, degraded_plan, remove_links, repaired_plan
+from repro.core.bandwidth import (
+    aggregate_bandwidth,
+    allreduce_time,
+    bottleneck_trace,
+    latency_aware_partition,
+    optimal_bandwidth,
+    optimal_partition,
+    tree_bandwidths,
+)
+from repro.core.plan import SCHEMES, AllreducePlan, build_plan
+
+__all__ = [
+    "InNetworkCollectives",
+    "ReducedSlice",
+    "affected_trees",
+    "degraded_plan",
+    "remove_links",
+    "repaired_plan",
+    "tree_bandwidths",
+    "aggregate_bandwidth",
+    "optimal_bandwidth",
+    "optimal_partition",
+    "latency_aware_partition",
+    "allreduce_time",
+    "bottleneck_trace",
+    "AllreducePlan",
+    "build_plan",
+    "SCHEMES",
+]

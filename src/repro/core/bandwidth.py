@@ -1,0 +1,297 @@
+"""Performance under congestion — Algorithm 1 and Theorem 5.1 (Section 5).
+
+Given a set of Allreduce trees embedded in the network, Algorithm 1
+computes the steady-state bandwidth each tree achieves when links are
+fairly shared: repeatedly find the bottleneck link (smallest remaining
+bandwidth / congestion ratio), freeze the bandwidth of every tree through
+it, subtract that bandwidth from all links those trees use, and continue.
+This is exactly progressive-filling / max-min fairness on the trees.
+
+Theorem 5.1: with each tree ``T_i`` running at ``B_i`` and the input vector
+split proportionally (``m_i = m * B_i / sum B_j``, Equation 2), the
+aggregate Allreduce bandwidth is ``sum B_i``.
+
+All arithmetic is done in exact rationals (:class:`fractions.Fraction`) —
+the quantities the paper reasons about (``B/2``, ``(q+1)B/2``) are exact,
+and the iteration involves repeated subtraction where floats would drift.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.topology.graph import Graph
+from repro.trees.tree import Edge, SpanningTree, edge_congestion
+
+Number = Union[int, float, Fraction]
+
+__all__ = [
+    "tree_bandwidths",
+    "aggregate_bandwidth",
+    "optimal_bandwidth",
+    "optimal_partition",
+    "latency_aware_partition",
+    "allreduce_time",
+    "bottleneck_trace",
+]
+
+
+def _as_fraction(b: Number) -> Fraction:
+    if isinstance(b, float):
+        return Fraction(b).limit_denominator(10**9)
+    return Fraction(b)
+
+
+def tree_bandwidths(
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    link_bandwidth: Number = 1,
+    link_bandwidths: Optional[Mapping[Edge, Number]] = None,
+) -> List[Fraction]:
+    """Algorithm 1: the bandwidth ``B_i`` of each embedded tree.
+
+    Parameters
+    ----------
+    g:
+        The physical topology; every tree edge must be one of its links.
+    trees:
+        The embedded Allreduce trees (checked against ``g``).
+    link_bandwidth:
+        ``B``, identical for all links (Section 4.1). Exact rationals in,
+        exact rationals out.
+    link_bandwidths:
+        Optional per-link override (canonical ``(min, max)`` edge keys) —
+        a generalization beyond the paper's uniform-``B`` model for
+        heterogeneous networks; links absent from the mapping use
+        ``link_bandwidth``.
+
+    Returns the list ``[B_0, ..., B_r]`` aligned with ``trees``. The result
+    is independent of tie-breaking among bottleneck edges (noted under
+    Algorithm 1); we break ties by edge order for determinism.
+    """
+    big_b = _as_fraction(link_bandwidth)
+    if big_b <= 0:
+        raise ValueError("link bandwidth must be positive")
+    for t in trees:
+        t.validate(g)
+
+    remaining: Dict[Edge, Fraction] = {}
+    congestion: Dict[Edge, int] = edge_congestion(trees)
+    for e in congestion:
+        if link_bandwidths is not None and e in link_bandwidths:
+            b_e = _as_fraction(link_bandwidths[e])
+            if b_e <= 0:
+                raise ValueError(f"link bandwidth for {e} must be positive")
+            remaining[e] = b_e
+        else:
+            remaining[e] = big_b
+
+    alive = set(range(len(trees)))
+    bandwidth: List[Fraction] = [Fraction(0)] * len(trees)
+    # tree ids using each edge (only edges with congestion matter)
+    users: Dict[Edge, List[int]] = {}
+    for i, t in enumerate(trees):
+        for e in t.edges:
+            users.setdefault(e, []).append(i)
+
+    while alive:
+        # line 5: bottleneck edge minimizing L(e) / C(e) among live edges
+        e_min = None
+        best = None
+        for e, c in congestion.items():
+            if c <= 0:
+                continue
+            ratio = remaining[e] / c
+            if best is None or ratio < best or (ratio == best and e < e_min):
+                best, e_min = ratio, e
+        if e_min is None:  # pragma: no cover - alive trees always have edges
+            break
+        share = remaining[e_min] / congestion[e_min]
+        for i in list(users[e_min]):
+            if i not in alive:
+                continue
+            bandwidth[i] = share  # line 7
+            for e in trees[i].edges:  # lines 8-10
+                remaining[e] -= share
+                congestion[e] -= 1
+            alive.discard(i)  # line 11
+        congestion[e_min] = 0  # line 12: edge removed
+
+    return bandwidth
+
+
+def aggregate_bandwidth(
+    g: Graph, trees: Sequence[SpanningTree], link_bandwidth: Number = 1
+) -> Fraction:
+    """Theorem 5.1: maximum achievable Allreduce bandwidth ``sum B_i``."""
+    return sum(tree_bandwidths(g, trees, link_bandwidth), Fraction(0))
+
+
+def optimal_bandwidth(q: int, link_bandwidth: Number = 1) -> Fraction:
+    """Corollary 7.1: the optimal bidirectional in-network Allreduce
+    bandwidth on ER_q is ``(q+1) B / 2``.
+
+    Derivation: ER_q has ``q (q+1)^2 / 2`` links; any spanning tree uses
+    ``q^2 + q`` of them; each link supplies ``B`` to the trees through it.
+    """
+    return Fraction(q + 1) * _as_fraction(link_bandwidth) / 2
+
+
+def optimal_partition(m: int, bandwidths: Sequence[Number]) -> List[int]:
+    """Equation 2: split an ``m``-element vector across trees proportionally
+    to their bandwidths, in whole elements (largest-remainder rounding so
+    the parts sum exactly to ``m``). Zero-bandwidth trees get no elements.
+    """
+    if m < 0:
+        raise ValueError("vector size must be non-negative")
+    fracs = [_as_fraction(b) for b in bandwidths]
+    if any(b < 0 for b in fracs):
+        raise ValueError("bandwidths must be non-negative")
+    total = sum(fracs, Fraction(0))
+    if total == 0:
+        raise ValueError("at least one tree must have positive bandwidth")
+    exact = [m * b / total for b in fracs]
+    parts = [int(x) for x in exact]  # floor
+    deficit = m - sum(parts)
+    # hand out the remaining elements to the largest fractional remainders
+    order = sorted(range(len(exact)), key=lambda i: (exact[i] - parts[i], fracs[i]), reverse=True)
+    for i in order[:deficit]:
+        parts[i] += 1
+    return parts
+
+
+def latency_aware_partition(
+    m: int,
+    bandwidths: Sequence[Number],
+    latencies: Sequence[Number],
+) -> List[int]:
+    """Sub-vector split minimizing ``max_i (L_i + m_i / B_i)`` exactly.
+
+    Theorem 5.1's Equation 2 assumes equal per-tree latency; when trees
+    have different depths (the edge-disjoint family mixed with greedy
+    repairs, or capped plans), the optimal split waterfills instead: find
+    the finish time ``T`` with ``sum_i max(0, (T - L_i) B_i) = m`` and give
+    each tree ``(T - L_i) B_i`` elements (trees whose latency exceeds
+    ``T`` carry nothing). Exact rational computation, largest-remainder
+    integer rounding.
+    """
+    if m < 0:
+        raise ValueError("vector size must be non-negative")
+    bws = [_as_fraction(b) for b in bandwidths]
+    lats = [_as_fraction(x) for x in latencies]
+    if len(bws) != len(lats):
+        raise ValueError("bandwidths and latencies length mismatch")
+    if any(b < 0 for b in bws) or any(l < 0 for l in lats):
+        raise ValueError("bandwidths and latencies must be non-negative")
+    if sum(bws, Fraction(0)) == 0:
+        raise ValueError("at least one tree must have positive bandwidth")
+    if m == 0:
+        return [0] * len(bws)
+
+    # waterfill: raise T through the sorted latencies until the active
+    # trees absorb m elements
+    order = sorted(range(len(bws)), key=lambda i: lats[i])
+    active: List[int] = []
+    b_sum = Fraction(0)
+    lb_sum = Fraction(0)  # sum of L_i * B_i over active trees
+    t_final = None
+    for pos, i in enumerate(order):
+        if bws[i] == 0:
+            continue
+        # tentatively activate tree i at level L_i
+        active.append(i)
+        b_sum += bws[i]
+        lb_sum += lats[i] * bws[i]
+        nxt = None
+        for j in order[pos + 1 :]:
+            if bws[j] > 0:
+                nxt = lats[j]
+                break
+        # T with current active set: (m + sum L B) / sum B
+        t_candidate = (Fraction(m) + lb_sum) / b_sum
+        if nxt is None or t_candidate <= nxt:
+            t_final = t_candidate
+            break
+    assert t_final is not None
+    exact = [
+        max(Fraction(0), (t_final - lats[i]) * bws[i]) if i in set(active) else Fraction(0)
+        for i in range(len(bws))
+    ]
+    parts = [int(x) for x in exact]
+    deficit = m - sum(parts)
+    rema = sorted(
+        range(len(exact)),
+        key=lambda i: (exact[i] - parts[i], bws[i]),
+        reverse=True,
+    )
+    for i in rema[:deficit]:
+        parts[i] += 1
+    return parts
+
+
+def allreduce_time(
+    m: int,
+    bandwidths: Sequence[Number],
+    latency: Number = 0,
+    partition: Sequence[int] = None,
+) -> Fraction:
+    """Overall Allreduce time ``max_i (L + m_i / B_i)`` for a sub-vector
+    partition (Theorem 5.1 proof). With the optimal partition this equals
+    ``L + m / sum B_i`` (Equation 3)."""
+    fracs = [_as_fraction(b) for b in bandwidths]
+    lat = _as_fraction(latency)
+    if partition is None:
+        partition = optimal_partition(m, fracs)
+    if len(partition) != len(fracs):
+        raise ValueError("partition and bandwidths length mismatch")
+    times = []
+    for mi, bi in zip(partition, fracs):
+        if mi == 0:
+            times.append(lat)
+            continue
+        if bi == 0:
+            raise ValueError("nonzero sub-vector assigned to a zero-bandwidth tree")
+        times.append(lat + Fraction(mi) / bi)
+    return max(times)
+
+
+def bottleneck_trace(
+    g: Graph, trees: Sequence[SpanningTree], link_bandwidth: Number = 1
+) -> List[Tuple[Edge, Fraction, Tuple[int, ...]]]:
+    """Diagnostic version of Algorithm 1: the sequence of bottleneck edges,
+    the bandwidth share each froze, and the tree ids it froze. Useful for
+    understanding *where* an embedding loses bandwidth."""
+    big_b = _as_fraction(link_bandwidth)
+    for t in trees:
+        t.validate(g)
+    remaining: Dict[Edge, Fraction] = {}
+    congestion: Dict[Edge, int] = edge_congestion(trees)
+    for e in congestion:
+        remaining[e] = big_b
+    users: Dict[Edge, List[int]] = {}
+    for i, t in enumerate(trees):
+        for e in t.edges:
+            users.setdefault(e, []).append(i)
+    alive = set(range(len(trees)))
+    out: List[Tuple[Edge, Fraction, Tuple[int, ...]]] = []
+    while alive:
+        e_min, best = None, None
+        for e, c in congestion.items():
+            if c <= 0:
+                continue
+            ratio = remaining[e] / c
+            if best is None or ratio < best or (ratio == best and e < e_min):
+                best, e_min = ratio, e
+        if e_min is None:  # pragma: no cover
+            break
+        share = remaining[e_min] / congestion[e_min]
+        frozen = tuple(i for i in users[e_min] if i in alive)
+        for i in frozen:
+            for e in trees[i].edges:
+                remaining[e] -= share
+                congestion[e] -= 1
+            alive.discard(i)
+        congestion[e_min] = 0
+        out.append((e_min, share, frozen))
+    return out

@@ -1,0 +1,115 @@
+"""Link-failure handling for multi-tree Allreduce plans (extension).
+
+The paper assumes a healthy network; a deployed in-network collective must
+react when a link dies. Two recovery levels are provided:
+
+- :func:`degraded_plan` — drop every tree that used a failed link and
+  re-run Algorithm 1 on the survivors (zero recomputation of trees;
+  bandwidth shrinks by the dropped trees' share). Edge-disjoint embeddings
+  lose at most one tree per failed link; Algorithm 3 embeddings at most
+  two (Theorem 7.6).
+- :func:`repaired_plan` — additionally re-grow replacement trees with the
+  generic greedy embedder on the surviving topology (usage pre-charged
+  with the surviving trees' links), restoring the tree count whenever the
+  residual graph is still connected.
+
+Both return ordinary :class:`AllreducePlan` objects, so everything
+downstream (partitioning, simulators, collectives) works unchanged.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.bandwidth import tree_bandwidths
+from repro.core.plan import AllreducePlan
+from repro.topology.graph import Graph, canonical_edge
+from repro.trees.tree import Edge, SpanningTree
+
+__all__ = ["affected_trees", "remove_links", "degraded_plan", "repaired_plan"]
+
+
+def affected_trees(trees: Sequence[SpanningTree], failed: Iterable[Edge]) -> List[int]:
+    """Indices of trees that route through any failed link."""
+    bad = {canonical_edge(*e) for e in failed}
+    return [i for i, t in enumerate(trees) if t.edges & bad]
+
+
+def remove_links(g: Graph, failed: Iterable[Edge]) -> Graph:
+    """The surviving topology (failed links removed; self-loops kept)."""
+    bad = {canonical_edge(*e) for e in failed}
+    for e in bad:
+        if e[0] == e[1] or not g.has_edge(*e):
+            raise ValueError(f"{e} is not a physical link of this topology")
+    out = Graph(g.n)
+    for e in g.edges:
+        if e not in bad:
+            out.add_edge(*e)
+    for v in g.self_loops:
+        out.add_self_loop(v)
+    return out
+
+
+def _rebuild(plan: AllreducePlan, g: Graph, trees: Sequence[SpanningTree]) -> AllreducePlan:
+    bws = tree_bandwidths(g, trees, plan.link_bandwidth)
+    return AllreducePlan(
+        q=plan.q,
+        scheme=plan.scheme + "+degraded",
+        topology=g,
+        trees=tuple(trees),
+        bandwidths=tuple(bws),
+        link_bandwidth=plan.link_bandwidth,
+    )
+
+
+def degraded_plan(plan: AllreducePlan, failed: Iterable[Edge]) -> AllreducePlan:
+    """Drop affected trees; keep the rest running on the surviving links.
+
+    Raises ``ValueError`` if no tree survives (callers should then fall
+    back to :func:`repaired_plan` or a full re-plan).
+    """
+    failed = list(failed)
+    g = remove_links(plan.topology, failed)
+    dead = set(affected_trees(plan.trees, failed))
+    survivors = [t for i, t in enumerate(plan.trees) if i not in dead]
+    if not survivors:
+        raise ValueError("every tree used a failed link; use repaired_plan")
+    return _rebuild(plan, g, survivors)
+
+
+def repaired_plan(plan: AllreducePlan, failed: Iterable[Edge]) -> AllreducePlan:
+    """Replace each dropped tree with a greedy tree on the surviving graph.
+
+    Replacement trees keep the dead trees' roots (so the reduce-scatter
+    root placement is stable) and are grown congestion-aware against the
+    surviving trees' links. Requires the surviving topology to remain
+    connected.
+    """
+    from repro.trees.greedy import greedy_tree
+
+    failed = list(failed)
+    g = remove_links(plan.topology, failed)
+    if not g.is_connected():
+        raise ValueError("surviving topology is disconnected; cannot repair")
+    dead = set(affected_trees(plan.trees, failed))
+    usage = {}
+    trees: List[SpanningTree] = []
+    for i, t in enumerate(plan.trees):
+        if i in dead:
+            continue
+        for e in t.edges:
+            usage[e] = usage.get(e, 0) + 1
+        trees.append(t)
+    for i in sorted(dead):
+        old = plan.trees[i]
+        trees.append(greedy_tree(g, old.root, usage, tree_id=old.tree_id))
+    bws = tree_bandwidths(g, trees, plan.link_bandwidth)
+    return AllreducePlan(
+        q=plan.q,
+        scheme=plan.scheme + "+repaired",
+        topology=g,
+        trees=tuple(trees),
+        bandwidths=tuple(bws),
+        link_bandwidth=plan.link_bandwidth,
+    )

@@ -1,0 +1,242 @@
+"""Polynomial arithmetic over an arbitrary finite field.
+
+Polynomials are tuples of integer-coded field elements in *ascending* degree
+order with no trailing zeros (the zero polynomial is the empty tuple). All
+functions take the coefficient field as an explicit ``field`` argument —
+any object exposing scalar ``add/sub/mul/neg/inv`` over integer-coded
+elements qualifies, in particular :class:`repro.gf.GF`. This keeps the
+module free of import cycles: ``GF(p^a)`` is built *from* polynomials over
+``GF(p)``, and the Singer construction builds ``F_{q^3}`` from polynomials
+over ``GF(q)``.
+
+Includes Rabin's irreducibility test and a primitivity test, used to find
+the lexicographically smallest degree-3 primitive polynomial over ``F_q``
+that Section 6.2 prescribes for reproducible difference sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.utils.numbertheory import prime_factors
+
+Poly = Tuple[int, ...]
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "poly_trim",
+    "poly_deg",
+    "poly_add",
+    "poly_sub",
+    "poly_neg",
+    "poly_scale",
+    "poly_mul",
+    "poly_divmod",
+    "poly_mod",
+    "poly_gcd",
+    "poly_powmod",
+    "poly_eval",
+    "poly_monic",
+    "is_irreducible",
+    "is_primitive",
+    "monic_polys_lex",
+    "smallest_irreducible",
+    "smallest_primitive",
+]
+
+ZERO: Poly = ()
+ONE: Poly = (1,)
+X: Poly = (0, 1)
+
+
+def poly_trim(coeffs: Iterable[int]) -> Poly:
+    """Normalize a coefficient sequence: drop trailing (high-degree) zeros."""
+    c = list(coeffs)
+    while c and c[-1] == 0:
+        c.pop()
+    return tuple(c)
+
+
+def poly_deg(f: Poly) -> int:
+    """Degree of ``f``; the zero polynomial has degree -1 by convention."""
+    return len(f) - 1
+
+
+def poly_add(field, f: Poly, g: Poly) -> Poly:
+    n = max(len(f), len(g))
+    out = []
+    for i in range(n):
+        a = f[i] if i < len(f) else 0
+        b = g[i] if i < len(g) else 0
+        out.append(field.add(a, b))
+    return poly_trim(out)
+
+
+def poly_neg(field, f: Poly) -> Poly:
+    return tuple(field.neg(c) for c in f)
+
+
+def poly_sub(field, f: Poly, g: Poly) -> Poly:
+    return poly_add(field, f, poly_neg(field, g))
+
+
+def poly_scale(field, f: Poly, s: int) -> Poly:
+    if s == 0:
+        return ZERO
+    return poly_trim(field.mul(c, s) for c in f)
+
+
+def poly_mul(field, f: Poly, g: Poly) -> Poly:
+    if not f or not g:
+        return ZERO
+    out = [0] * (len(f) + len(g) - 1)
+    for i, a in enumerate(f):
+        if a == 0:
+            continue
+        for j, b in enumerate(g):
+            if b == 0:
+                continue
+            out[i + j] = field.add(out[i + j], field.mul(a, b))
+    return poly_trim(out)
+
+
+def poly_divmod(field, f: Poly, g: Poly) -> Tuple[Poly, Poly]:
+    """Euclidean division ``f = q*g + r`` with ``deg r < deg g``."""
+    if not g:
+        raise ZeroDivisionError("polynomial division by zero")
+    rem: List[int] = list(f)
+    dg = poly_deg(g)
+    lead_inv = field.inv(g[-1])
+    quot = [0] * max(len(f) - dg, 0)
+    for i in range(len(rem) - 1, dg - 1, -1):
+        c = rem[i]
+        if c == 0:
+            continue
+        factor = field.mul(c, lead_inv)
+        quot[i - dg] = factor
+        for j in range(dg + 1):
+            rem[i - dg + j] = field.sub(rem[i - dg + j], field.mul(factor, g[j]))
+    return poly_trim(quot), poly_trim(rem)
+
+
+def poly_mod(field, f: Poly, g: Poly) -> Poly:
+    return poly_divmod(field, f, g)[1]
+
+
+def poly_monic(field, f: Poly) -> Poly:
+    """Scale ``f`` so its leading coefficient is 1."""
+    if not f:
+        return ZERO
+    return poly_scale(field, f, field.inv(f[-1]))
+
+
+def poly_gcd(field, f: Poly, g: Poly) -> Poly:
+    """Monic greatest common divisor."""
+    a, b = f, g
+    while b:
+        a, b = b, poly_mod(field, a, b)
+    return poly_monic(field, a)
+
+
+def poly_powmod(field, f: Poly, e: int, m: Poly) -> Poly:
+    """Compute ``f^e mod m`` by square-and-multiply."""
+    if e < 0:
+        raise ValueError("negative exponent")
+    result: Poly = ONE
+    base = poly_mod(field, f, m)
+    while e:
+        if e & 1:
+            result = poly_mod(field, poly_mul(field, result, base), m)
+        base = poly_mod(field, poly_mul(field, base, base), m)
+        e >>= 1
+    return result
+
+
+def poly_eval(field, f: Poly, x: int) -> int:
+    """Evaluate ``f`` at the field element ``x`` (Horner's rule)."""
+    acc = 0
+    for c in reversed(f):
+        acc = field.add(field.mul(acc, x), c)
+    return acc
+
+
+def is_irreducible(field, f: Poly) -> bool:
+    """Rabin's irreducibility test over ``F_q`` (q = field.order).
+
+    ``f`` of degree ``n`` is irreducible iff ``x^{q^n} == x (mod f)`` and for
+    every prime ``r | n``, ``gcd(x^{q^{n/r}} - x, f) == 1``.
+    """
+    n = poly_deg(f)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    q = field.order
+    for r in prime_factors(n):
+        h = poly_sub(field, poly_powmod(field, X, q ** (n // r), f), X)
+        if poly_deg(poly_gcd(field, h, f)) > 0:
+            return False
+    return poly_powmod(field, X, q**n, f) == poly_mod(field, X, f)
+
+
+def is_primitive(field, f: Poly) -> bool:
+    """True iff monic ``f`` is primitive: irreducible with root of order q^n - 1.
+
+    Equivalently, ``x`` generates the multiplicative group of
+    ``F_q[x]/(f)``: ``x^{(q^n-1)/r} != 1`` for every prime ``r | q^n - 1``.
+    """
+    n = poly_deg(f)
+    if n <= 0 or not is_irreducible(field, f):
+        return False
+    group = field.order**n - 1
+    for r in prime_factors(group):
+        if poly_powmod(field, X, group // r, f) == ONE:
+            return False
+    return True
+
+
+def monic_polys_lex(field, degree: int):
+    """Yield all monic polynomials of ``degree`` in lexicographic order.
+
+    Order: coefficient vectors ``(c_{n-1}, ..., c_1, c_0)`` compared as
+    integer tuples under the field's canonical 0..q-1 element coding, i.e.
+    ``x^n + c_{n-1} x^{n-1} + ... + c_0`` sorted by high-degree coefficients
+    first. This is the ordering used to pin down "the lexicographically
+    smallest degree-3 polynomial" of Section 6.2.
+    """
+    q = field.order
+    coeffs = [0] * degree
+    while True:
+        yield poly_trim(tuple(reversed(coeffs)) + (1,))
+        # increment the (c_{n-1}, ..., c_0) odometer, least significant last
+        i = degree - 1
+        while i >= 0:
+            coeffs[i] += 1
+            if coeffs[i] < q:
+                break
+            coeffs[i] = 0
+            i -= 1
+        if i < 0:
+            return
+
+
+def smallest_irreducible(field, degree: int) -> Poly:
+    """Lexicographically smallest monic irreducible polynomial of ``degree``."""
+    for f in monic_polys_lex(field, degree):
+        if is_irreducible(field, f):
+            return f
+    raise RuntimeError(
+        f"no monic irreducible of degree {degree} over F_{field.order}"
+    )  # pragma: no cover - irreducibles always exist
+
+
+def smallest_primitive(field, degree: int) -> Poly:
+    """Lexicographically smallest monic primitive polynomial of ``degree``."""
+    for f in monic_polys_lex(field, degree):
+        if is_primitive(field, f):
+            return f
+    raise RuntimeError(
+        f"no monic primitive of degree {degree} over F_{field.order}"
+    )  # pragma: no cover - primitives always exist

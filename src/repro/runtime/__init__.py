@@ -1,0 +1,32 @@
+"""SPMD message-passing runtime: per-rank programs with blocking receives.
+
+An mpi4py-style execution model — every rank runs the same generator
+program with explicit :class:`Send`/:class:`Recv` operations, scheduled
+cooperatively with in-order delivery and deadlock detection. Used for
+per-rank-isolated validation of the collectives (nothing shares memory,
+unlike the global-buffer reference implementations).
+"""
+
+from repro.runtime.kernel import ANY, DeadlockError, Recv, Send, run_spmd
+from repro.runtime.programs import (
+    recursive_doubling_program,
+    ring_allreduce_program,
+    tree_allreduce_program,
+    tree_allreduce_spmd,
+    tree_broadcast_program,
+    tree_reduce_program,
+)
+
+__all__ = [
+    "ANY",
+    "DeadlockError",
+    "Recv",
+    "Send",
+    "run_spmd",
+    "ring_allreduce_program",
+    "recursive_doubling_program",
+    "tree_allreduce_program",
+    "tree_allreduce_spmd",
+    "tree_broadcast_program",
+    "tree_reduce_program",
+]

@@ -1,0 +1,133 @@
+"""SPMD message-passing kernel: run per-rank programs with blocking recv.
+
+The library's other executors operate on global buffers; this kernel runs
+*one program per rank* (mpi4py style) with eager sends, blocking receives
+and cooperative scheduling — the execution model actual collectives code
+is written against. Each rank is a Python generator that yields
+communication operations:
+
+    def program(rank, nranks, x):
+        yield Send(dst, tag, payload)
+        payload = yield Recv(src, tag)
+        ...
+        return result
+
+Semantics:
+
+- ``Send`` is eager/buffered: it never blocks (like small-message MPI).
+- ``Recv(src, tag)`` blocks until a matching message arrives; messages
+  between a (src, dst, tag) triple are delivered in order.
+- ``Recv(ANY, tag)`` matches any source; the payload is delivered as
+  ``(src, payload)``.
+- The scheduler round-robins runnable ranks; if every unfinished rank is
+  blocked and no message can satisfy any of them, it raises
+  :class:`DeadlockError` with the blocked ranks' wait states — turning
+  the classic hung-MPI-job failure mode into a diagnosable exception.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Send", "Recv", "ANY", "DeadlockError", "run_spmd"]
+
+ANY = -1  # wildcard source
+
+
+@dataclass(frozen=True)
+class Send:
+    dst: int
+    tag: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Recv:
+    src: int  # rank id or ANY
+    tag: str
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished ranks are blocked on receives nobody will satisfy."""
+
+
+def run_spmd(
+    nranks: int,
+    program: Callable,
+    *args,
+    max_steps: int = 10_000_000,
+) -> List[Any]:
+    """Execute ``program(rank, nranks, *args)`` on every rank.
+
+    Returns the per-rank return values (the generators' ``return``).
+    """
+    if nranks < 1:
+        raise ValueError("need at least one rank")
+    gens = [program(r, nranks, *args) for r in range(nranks)]
+    # queues[(dst, src, tag)] -> deque of payloads (in-order per triple)
+    queues: Dict[Tuple[int, int, str], deque] = {}
+    blocked: Dict[int, Recv] = {}
+    results: List[Any] = [None] * nranks
+    finished = [False] * nranks
+    # value to feed into the generator on its next resume
+    feed: List[Any] = [None] * nranks
+
+    def try_match(rank: int, want: Recv) -> Optional[Any]:
+        if want.src == ANY:
+            for (dst, src, tag), q in queues.items():
+                if dst == rank and tag == want.tag and q:
+                    return (src, q.popleft())
+            return None
+        q = queues.get((rank, want.src, want.tag))
+        if q:
+            return q.popleft()
+        return None
+
+    steps = 0
+    while not all(finished):
+        progressed = False
+        for r in range(nranks):
+            if finished[r]:
+                continue
+            if r in blocked:
+                got = try_match(r, blocked[r])
+                if got is None:
+                    continue
+                del blocked[r]
+                feed[r] = got
+            # run rank r until it blocks or finishes
+            while True:
+                steps += 1
+                if steps > max_steps:
+                    raise RuntimeError(f"exceeded {max_steps} scheduler steps")
+                try:
+                    op = gens[r].send(feed[r])
+                except StopIteration as stop:
+                    results[r] = stop.value
+                    finished[r] = True
+                    progressed = True
+                    break
+                feed[r] = None
+                if isinstance(op, Send):
+                    if not 0 <= op.dst < nranks:
+                        raise ValueError(f"rank {r} sent to invalid rank {op.dst}")
+                    queues.setdefault((op.dst, r, op.tag), deque()).append(op.payload)
+                    progressed = True
+                elif isinstance(op, Recv):
+                    got = try_match(r, op)
+                    if got is None:
+                        blocked[r] = op
+                        progressed = True  # state changed (now blocked)
+                        break
+                    feed[r] = got
+                    progressed = True
+                else:
+                    raise TypeError(f"rank {r} yielded {op!r}; expected Send/Recv")
+        if not progressed:
+            waits = {r: (w.src, w.tag) for r, w in blocked.items()}
+            raise DeadlockError(
+                f"{len(waits)} rank(s) blocked with no matching messages: {waits}"
+            )
+    return results

@@ -1,0 +1,186 @@
+"""SPMD collective programs for the message-passing kernel.
+
+Each function is a per-rank generator in the :mod:`repro.runtime.kernel`
+style — the same code every rank runs, with explicit sends/receives —
+i.e. how these algorithms look in real MPI programs, as opposed to the
+global-buffer reference implementations in :mod:`repro.collectives`.
+
+Included:
+
+- :func:`ring_allreduce_program` — reduce-scatter + all-gather around the
+  rank ring;
+- :func:`recursive_doubling_program` — pairwise exchange with the MPICH
+  non-power-of-two fold;
+- :func:`tree_allreduce_program` — the Section 4.3 dataflow itself as
+  rank code: receive children's partials, combine, forward to the parent;
+  then broadcast down. Running it on a plan's trees executes the exact
+  in-network schedule with per-rank isolation (nothing shares memory).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.collectives.ring import ring_chunks
+from repro.runtime.kernel import Recv, Send
+from repro.trees.tree import SpanningTree
+
+__all__ = [
+    "ring_allreduce_program",
+    "recursive_doubling_program",
+    "tree_allreduce_program",
+    "tree_allreduce_spmd",
+    "tree_broadcast_program",
+    "tree_reduce_program",
+]
+
+
+def ring_allreduce_program(rank: int, nranks: int, x_local: np.ndarray, op=np.add):
+    """Ring Allreduce as rank code. ``x_local`` is this rank's vector."""
+    buf = np.array(x_local, copy=True)
+    p = nranks
+    if p == 1:
+        return buf
+    chunks = ring_chunks(p, buf.shape[0])
+    right = (rank + 1) % p
+    # reduce-scatter
+    for s in range(p - 1):
+        c_out = (rank - s) % p
+        lo, hi = chunks[c_out]
+        yield Send(right, f"rs{s}", buf[lo:hi].copy())
+        c_in = (rank - s - 1) % p
+        lo, hi = chunks[c_in]
+        data = yield Recv((rank - 1) % p, f"rs{s}")
+        buf[lo:hi] = op(buf[lo:hi], data)
+    # all-gather
+    for s in range(p - 1):
+        c_out = (rank + 1 - s) % p
+        lo, hi = chunks[c_out]
+        yield Send(right, f"ag{s}", buf[lo:hi].copy())
+        c_in = (rank - s) % p
+        lo, hi = chunks[c_in]
+        buf[lo:hi] = yield Recv((rank - 1) % p, f"ag{s}")
+    return buf
+
+
+def recursive_doubling_program(rank: int, nranks: int, x_local: np.ndarray, op=np.add):
+    """Recursive-doubling Allreduce as rank code (MPICH fold for non-2^k)."""
+    buf = np.array(x_local, copy=True)
+    p = nranks
+    if p == 1:
+        return buf
+    r = 1 << (p.bit_length() - 1)
+    rem = p - r
+
+    newrank = None
+    if rank < 2 * rem:
+        if rank % 2 == 0:  # folded out
+            yield Send(rank + 1, "fold", buf.copy())
+            buf = yield Recv(rank + 1, "unfold")
+            return buf
+        other = yield Recv(rank - 1, "fold")
+        buf = op(buf, other)
+        newrank = (rank - 1) // 2
+    else:
+        newrank = rank - rem
+
+    def node_of(nr: int) -> int:
+        return 2 * nr + 1 if nr < rem else nr + rem
+
+    mask = 1
+    while mask < r:
+        partner = node_of(newrank ^ mask)
+        yield Send(partner, f"rd{mask}", buf.copy())
+        other = yield Recv(partner, f"rd{mask}")
+        buf = op(buf, other)
+        mask <<= 1
+
+    if rank < 2 * rem:
+        yield Send(rank - 1, "unfold", buf.copy())
+    return buf
+
+
+def tree_allreduce_program(
+    rank: int,
+    nranks: int,
+    x_local: np.ndarray,
+    trees: Sequence[SpanningTree],
+    partition: Sequence[int],
+    op=np.add,
+):
+    """The in-network tree dataflow as rank code.
+
+    For each tree: receive every child's partial for this tree's slice,
+    fold into the local partial, forward to the parent; the root then
+    broadcasts the reduced slice back down. Returns the full result.
+    """
+    x_local = np.asarray(x_local)
+    out = np.empty_like(x_local)
+    offset = 0
+    for idx, (tree, width) in enumerate(zip(trees, partition)):
+        sl = slice(offset, offset + width)
+        offset += width
+        if width == 0:
+            continue
+        partial = np.array(x_local[sl], copy=True)
+        for child in tree.children(rank):
+            data = yield Recv(child, f"up{idx}")
+            partial = op(partial, data)
+        parent = tree.parent.get(rank)
+        if parent is None:  # root
+            result = partial
+        else:
+            yield Send(parent, f"up{idx}", partial)
+            result = yield Recv(parent, f"down{idx}")
+        for child in tree.children(rank):
+            yield Send(child, f"down{idx}", result)
+        out[sl] = result
+    return out
+
+
+def tree_broadcast_program(rank: int, nranks: int, tree: SpanningTree, value):
+    """In-network Broadcast as rank code: the root's value flows down one
+    tree (the second half of the Section 4.3 dataflow, standalone)."""
+    if tree.parent.get(rank) is None:
+        result = value
+    else:
+        result = yield Recv(tree.parent[rank], "bcast")
+    for child in tree.children(rank):
+        yield Send(child, "bcast", result)
+    return result
+
+
+def tree_reduce_program(rank: int, nranks: int, tree: SpanningTree, x_local, op=np.add):
+    """In-network Reduce as rank code: partials flow up one tree; only the
+    root returns the reduction (the first half of the dataflow)."""
+    partial = np.array(x_local, copy=True)
+    for child in tree.children(rank):
+        data = yield Recv(child, "reduce")
+        partial = op(partial, data)
+    parent = tree.parent.get(rank)
+    if parent is None:
+        return partial
+    yield Send(parent, "reduce", partial)
+    return None
+
+
+def tree_allreduce_spmd(plan, inputs: np.ndarray, op=np.add) -> np.ndarray:
+    """Convenience: run :func:`tree_allreduce_program` over a plan."""
+    from repro.runtime.kernel import run_spmd
+
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 2 or inputs.shape[0] != plan.num_nodes:
+        raise ValueError(
+            f"inputs must be (N={plan.num_nodes}, m); got {inputs.shape}"
+        )
+    parts = plan.partition(inputs.shape[1])
+
+    def prog(rank, nranks):
+        return tree_allreduce_program(
+            rank, nranks, inputs[rank], plan.trees, parts, op
+        )
+
+    results = run_spmd(plan.num_nodes, prog)
+    return np.stack(results)

@@ -1,0 +1,63 @@
+"""In-network-computing simulator substrate.
+
+Three fidelities, all exercising the Section 4.3/4.4 dataflow:
+
+- :mod:`repro.simulator.functional` — numerically exact execution on NumPy
+  vectors (proves the multi-tree schedule computes the right answer);
+- :mod:`repro.simulator.cycle` — flit-level pipelined simulation with
+  per-channel fair arbitration (validates the Algorithm 1 bandwidth model
+  and the depth-proportional latency);
+- :mod:`repro.simulator.fluid` — closed-form max-min rate model for large
+  configurations.
+
+:mod:`repro.simulator.router` / :mod:`repro.simulator.network` model the
+router resources (VCs, reduction engines, port fan-in) of Section 5.1.
+"""
+
+from repro.simulator.config_gen import (
+    FabricConfig,
+    VCAssignment,
+    assign_virtual_channels,
+    generate_fabric_config,
+)
+from repro.simulator.cycle import CycleSimulator, CycleStats, simulate_allreduce
+from repro.simulator.fluid import FluidResult, fluid_simulate
+from repro.simulator.functional import REDUCE_OPS, execute_plan, reduce_on_tree, verify_plan
+from repro.simulator.network import Network
+from repro.simulator.packet import PacketLevelSimulator, PacketStats, packet_allreduce
+from repro.simulator.trace import ChannelTrace, render_waterfall, trace_allreduce
+from repro.simulator.router import (
+    EmbeddingResources,
+    RouterConfig,
+    TreePort,
+    build_router_configs,
+    embedding_resources,
+)
+
+__all__ = [
+    "FabricConfig",
+    "VCAssignment",
+    "assign_virtual_channels",
+    "generate_fabric_config",
+    "CycleSimulator",
+    "CycleStats",
+    "simulate_allreduce",
+    "FluidResult",
+    "fluid_simulate",
+    "REDUCE_OPS",
+    "execute_plan",
+    "reduce_on_tree",
+    "verify_plan",
+    "Network",
+    "PacketLevelSimulator",
+    "PacketStats",
+    "packet_allreduce",
+    "ChannelTrace",
+    "trace_allreduce",
+    "render_waterfall",
+    "EmbeddingResources",
+    "RouterConfig",
+    "TreePort",
+    "build_router_configs",
+    "embedding_resources",
+]

@@ -1,0 +1,170 @@
+"""Router configuration generation — the deployment backend of Section 4.4.
+
+Turns an embedding plan into the concrete per-router state a PIUMA/SHARP
+class device needs:
+
+- per tree: the parent port, child ports and whether the local reduction
+  engine participates (fan-in >= 2);
+- per link: a **virtual-channel assignment** giving every tree that shares
+  the link a distinct VC id in ``0..congestion-1`` (Section 5.1's "disjoint
+  resources identify the state"). Reduction and broadcast traffic are
+  reported as separate VC planes, following PIUMA's split (discussed after
+  Lemma 7.8), so a congestion-2 embedding needs 2 VCs per plane and a
+  zero-congestion embedding needs 1;
+- a machine-readable JSON document for the whole fabric.
+
+The VC assignment is a proper per-edge coloring: trees sharing a link get
+distinct ids, and ids are minimized per link (greedy first-fit in tree
+order), so ``max id + 1 == worst-case congestion`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulator.router import build_router_configs
+from repro.topology.graph import Graph, canonical_edge
+from repro.trees.tree import Edge, SpanningTree, edge_congestion
+
+__all__ = [
+    "VCAssignment",
+    "RouterTreeEntry",
+    "RouterTable",
+    "FabricConfig",
+    "assign_virtual_channels",
+    "generate_fabric_config",
+]
+
+
+@dataclass(frozen=True)
+class VCAssignment:
+    """VC ids per (link, tree); one plane each for reduce and broadcast."""
+
+    table: Mapping[Tuple[Edge, int], int]  # (canonical link, tree id) -> vc
+    vcs_per_plane: int
+
+    def vc_of(self, u: int, v: int, tree_id: int) -> int:
+        key = (canonical_edge(u, v), tree_id)
+        if key not in self.table:
+            raise KeyError(f"tree {tree_id} does not use link {canonical_edge(u, v)}")
+        return self.table[key]
+
+
+def assign_virtual_channels(trees: Sequence[SpanningTree]) -> VCAssignment:
+    """First-fit VC coloring: on every link, the trees crossing it receive
+    the smallest distinct ids. The number of VCs needed per traffic plane
+    is exactly the worst-case congestion."""
+    used: Dict[Edge, List[int]] = {}
+    table: Dict[Tuple[Edge, int], int] = {}
+    for idx, t in enumerate(trees):
+        tid = t.tree_id if t.tree_id is not None else idx
+        for e in sorted(t.edges):
+            taken = used.setdefault(e, [])
+            vc = 0
+            while vc in taken:
+                vc += 1
+            taken.append(vc)
+            table[(e, tid)] = vc
+    vcs = 1 + max(table.values()) if table else 0
+    return VCAssignment(table=table, vcs_per_plane=vcs)
+
+
+@dataclass(frozen=True)
+class RouterTreeEntry:
+    """One router's configuration for one embedded tree."""
+
+    tree_id: int
+    role: str  # "root" | "interior" | "leaf"
+    parent_port: Optional[int]
+    parent_vc: Optional[int]  # VC used toward the parent (reduce plane)
+    child_ports: Tuple[int, ...]
+    child_vcs: Tuple[int, ...]  # VCs on the child links (reduce plane)
+    uses_reduction_engine: bool
+
+
+@dataclass(frozen=True)
+class RouterTable:
+    node: int
+    ports: Tuple[int, ...]
+    trees: Tuple[RouterTreeEntry, ...]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Whole-fabric configuration, serializable to JSON."""
+
+    num_routers: int
+    num_trees: int
+    vcs_per_plane: int
+    routers: Tuple[RouterTable, ...]
+
+    def to_json(self, indent: int = 2) -> str:
+        doc = {
+            "num_routers": self.num_routers,
+            "num_trees": self.num_trees,
+            "vcs_per_plane": self.vcs_per_plane,
+            "planes": ["reduce", "broadcast"],
+            "routers": [
+                {
+                    "node": r.node,
+                    "ports": list(r.ports),
+                    "trees": [
+                        {
+                            "tree_id": e.tree_id,
+                            "role": e.role,
+                            "parent_port": e.parent_port,
+                            "parent_vc": e.parent_vc,
+                            "child_ports": list(e.child_ports),
+                            "child_vcs": list(e.child_vcs),
+                            "uses_reduction_engine": e.uses_reduction_engine,
+                        }
+                        for e in r.trees
+                    ],
+                }
+                for r in self.routers
+            ],
+        }
+        return json.dumps(doc, indent=indent)
+
+
+def generate_fabric_config(g: Graph, trees: Sequence[SpanningTree]) -> FabricConfig:
+    """Build the complete fabric configuration for an embedding."""
+    vcs = assign_virtual_channels(trees)
+    router_cfgs = build_router_configs(g, trees)
+    routers: List[RouterTable] = []
+    for cfg in router_cfgs:
+        entries: List[RouterTreeEntry] = []
+        for tid in sorted(cfg.tree_roles):
+            role = cfg.tree_roles[tid]
+            if role.is_root:
+                kind = "root"
+            elif role.is_leaf:
+                kind = "leaf"
+            else:
+                kind = "interior"
+            parent_vc = (
+                None
+                if role.parent_port is None
+                else vcs.vc_of(cfg.node, role.parent_port, tid)
+            )
+            child_vcs = tuple(vcs.vc_of(cfg.node, c, tid) for c in role.child_ports)
+            entries.append(
+                RouterTreeEntry(
+                    tree_id=tid,
+                    role=kind,
+                    parent_port=role.parent_port,
+                    parent_vc=parent_vc,
+                    child_ports=role.child_ports,
+                    child_vcs=child_vcs,
+                    uses_reduction_engine=len(role.child_ports) >= 1,
+                )
+            )
+        routers.append(RouterTable(node=cfg.node, ports=cfg.ports, trees=tuple(entries)))
+    return FabricConfig(
+        num_routers=g.n,
+        num_trees=len(trees),
+        vcs_per_plane=vcs.vcs_per_plane,
+        routers=tuple(routers),
+    )

@@ -1,0 +1,339 @@
+"""Cycle-level flit simulation of pipelined in-network Allreduce.
+
+Models the router architecture of Section 4.4 at flit granularity:
+
+- every undirected link is two directed channels of capacity
+  ``link_capacity`` flits/cycle (bidirectional links, Section 4.1);
+- *reduction* flows move flits child -> parent; a node may send flit ``k``
+  upward only once it has aggregated flit ``k`` from **all** children (its
+  own injected stream is always resident) — the pipelined streaming
+  aggregation of SHARP/PIUMA;
+- *broadcast* flows move flits parent -> child; flit ``k`` leaves the root
+  once the root has aggregated it, and leaves an interior node once that
+  node received it;
+- flits transferred in cycle ``T`` become visible at the receiver in cycle
+  ``T + 1`` (one-cycle hop latency), so pipeline-fill time is proportional
+  to tree depth, as the latency model assumes;
+- each directed channel arbitrates round-robin among its backlogged
+  (tree, phase) flows — fair sharing, the physical mechanism behind the
+  Section 5.1 congestion model;
+- optional credit-based flow control (Section 4.4): each (tree, phase)
+  stream gets ``buffer_size`` receiver-side slots; a flit's slot frees
+  once the receiver has *consumed* it (forwarded it up for reduction
+  flits / re-broadcast it down for broadcast flits; leaves and the root
+  consume on arrival-equivalent events). The credit loop is two cycles
+  (one hop out, one cycle for the consumption to become visible), so
+  ``buffer_size = 2 * link_capacity`` — the latency-bandwidth product —
+  suffices for full throughput: the paper's Section 1.2 claim that
+  pipelined tree Allreduce needs only tiny router buffers, demonstrated
+  by the E-A6 benchmark.
+
+The simulator is deliberately mechanism-faithful rather than fast; it is
+used at small radix to *validate* the analytic model (Algorithm 1): the
+measured steady-state aggregate bandwidth of each embedding must match the
+predicted ``sum B_i``, and measured completion must track
+``2 * depth + m_i / B_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["FlowKind", "CycleStats", "CycleSimulator", "simulate_allreduce"]
+
+REDUCE = "reduce"
+BROADCAST = "broadcast"
+FlowKind = str
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Outcome of one simulated Allreduce."""
+
+    cycles: int  # cycle at which the whole collective completed
+    tree_completion: Tuple[int, ...]  # per-tree completion cycle
+    flits_per_tree: Tuple[int, ...]
+    link_capacity: int
+    flits_moved: int  # total directed flit-hops transferred
+    buffer_size: Optional[int] = None  # per-flow credit slots (None = infinite)
+    max_channel_utilization: float = 0.0  # busiest direction, flits/(cap*cycles)
+    mean_channel_utilization: float = 0.0  # across directions carrying traffic
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Measured Allreduce bandwidth: reduced+broadcast elements per
+        cycle, ``sum m_i / T`` (compare with Theorem 5.1's ``sum B_i``)."""
+        return sum(self.flits_per_tree) / self.cycles if self.cycles else 0.0
+
+    def tree_bandwidth(self, i: int) -> float:
+        return self.flits_per_tree[i] / self.tree_completion[i] if self.tree_completion[i] else 0.0
+
+
+class _Flow:
+    """One directed (tree, edge, phase) flit stream."""
+
+    __slots__ = ("tree", "kind", "src", "dst", "sent")
+
+    def __init__(self, tree: int, kind: FlowKind, src: int, dst: int):
+        self.tree = tree
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.sent = 0  # flits already pushed into the channel
+
+
+class CycleSimulator:
+    """Flit-level simulator for a set of trees embedded in ``g``.
+
+    Parameters
+    ----------
+    g:
+        Physical topology.
+    trees:
+        Embedded spanning trees (validated against ``g``).
+    flits_per_tree:
+        Sub-vector length ``m_i`` (in flits) reduced by each tree —
+        normally ``plan.partition(m)``.
+    link_capacity:
+        Flits per cycle per channel direction (the link bandwidth ``B``).
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        trees: Sequence[SpanningTree],
+        flits_per_tree: Sequence[int],
+        link_capacity: int = 1,
+        buffer_size: Optional[int] = None,
+    ):
+        if len(trees) != len(flits_per_tree):
+            raise ValueError("flits_per_tree must align with trees")
+        if link_capacity < 1:
+            raise ValueError("link capacity must be >= 1 flit/cycle")
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError("buffer size must be >= 1 slot (or None for infinite)")
+        for t in trees:
+            t.validate(g)
+        self.g = g
+        self.trees = list(trees)
+        self.m = [int(x) for x in flits_per_tree]
+        if any(x < 0 for x in self.m):
+            raise ValueError("flit counts must be non-negative")
+        self.capacity = link_capacity
+        self.buffer_size = buffer_size
+
+        # Per-tree state.
+        n = g.n
+        self.n = n
+        # up_delivered[t][v]: flits from v fully ARRIVED at v's parent.
+        self.up_delivered: List[List[int]] = [[0] * n for _ in trees]
+        # bc_delivered[t][v]: broadcast flits fully arrived at v.
+        self.bc_delivered: List[List[int]] = [[0] * n for _ in trees]
+
+        # Flows and per-direction arbitration queues.
+        self.flows: List[_Flow] = []
+        self.channel_flows: Dict[Tuple[int, int], List[int]] = {}
+        self._rr: Dict[Tuple[int, int], int] = {}
+        # credit bookkeeping: the flow that forwards a node's reduction
+        # upward, and the flows that re-broadcast at a node
+        self._up_flow_of: Dict[Tuple[int, int], int] = {}
+        self._bc_flows_from: Dict[Tuple[int, int], List[int]] = {}
+        for ti, t in enumerate(trees):
+            for v, p in t.parent.items():
+                up = _Flow(ti, REDUCE, v, p)
+                dn = _Flow(ti, BROADCAST, p, v)
+                for fl in (up, dn):
+                    fid = len(self.flows)
+                    self.flows.append(fl)
+                    self.channel_flows.setdefault((fl.src, fl.dst), []).append(fid)
+                    if fl.kind == REDUCE:
+                        self._up_flow_of[(ti, v)] = fid
+                    else:
+                        self._bc_flows_from.setdefault((ti, p), []).append(fid)
+        for ch in self.channel_flows:
+            self._rr[ch] = 0
+        self._sent_snap: List[int] = [0] * len(self.flows)
+
+        # In-flight flits land at the receiver at the next cycle boundary.
+        self._landing: List[Tuple[int, int]] = []  # (flow id, count)
+        self.flits_moved = 0
+        self.channel_flits: Dict[Tuple[int, int], int] = {
+            ch: 0 for ch in self.channel_flows
+        }
+
+    # ------------------------------------------------------------ dynamics
+
+    def _aggregated(self, ti: int, v: int) -> int:
+        """Flits fully aggregated at node ``v`` for tree ``ti``: limited by
+        the slowest child stream (own input is always resident)."""
+        t = self.trees[ti]
+        kids = t.children(v)
+        if not kids:
+            return self.m[ti]
+        up = self.up_delivered[ti]
+        return min(up[c] for c in kids)
+
+    def _eligible(self, flow: _Flow) -> int:
+        """How many more flits this flow could inject right now."""
+        ti = flow.tree
+        if flow.kind == REDUCE:
+            return self._aggregated(ti, flow.src) - flow.sent
+        # broadcast: the source must itself hold the flit
+        t = self.trees[ti]
+        if flow.src == t.root:
+            avail = self._aggregated(ti, flow.src)
+        else:
+            avail = self.bc_delivered[ti][flow.src]
+        return avail - flow.sent
+
+    def _consumed(self, flow: _Flow) -> int:
+        """Flits of ``flow`` its receiver has consumed (start-of-cycle view).
+
+        Consumption frees a credit slot: a reduction flit is consumed once
+        the receiver forwarded the aggregated flit toward the root (the
+        root consumes by pushing it into every broadcast stream); a
+        broadcast flit is consumed once re-broadcast to all children
+        (leaves consume on delivery)."""
+        ti = flow.tree
+        dst = flow.dst
+        t = self.trees[ti]
+        if flow.kind == REDUCE:
+            if dst == t.root:
+                kids_bc = self._bc_flows_from.get((ti, dst), [])
+                return min(self._sent_snap[f] for f in kids_bc) if kids_bc else self.m[ti]
+            return self._sent_snap[self._up_flow_of[(ti, dst)]]
+        # broadcast flit at dst
+        kids_bc = self._bc_flows_from.get((ti, dst), [])
+        if not kids_bc:  # leaf: delivered to the host on arrival
+            return self.bc_delivered[ti][dst]
+        return min(self._sent_snap[f] for f in kids_bc)
+
+    def _credit(self, fid: int) -> int:
+        """Remaining credit slots for flow ``fid`` (inf when unbuffered)."""
+        if self.buffer_size is None:
+            return 1 << 30
+        flow = self.flows[fid]
+        outstanding = flow.sent - self._consumed(flow)
+        return self.buffer_size - outstanding
+
+    def _tree_done(self, ti: int) -> bool:
+        t = self.trees[ti]
+        m = self.m[ti]
+        if m == 0:
+            return True
+        if self._aggregated(ti, t.root) < m:
+            return False
+        bc = self.bc_delivered[ti]
+        return all(bc[v] >= m for v in t.parent)
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of flits transferred."""
+        # 1. land last cycle's in-flight flits
+        for fid, cnt in self._landing:
+            fl = self.flows[fid]
+            if fl.kind == REDUCE:
+                self.up_delivered[fl.tree][fl.src] += cnt
+            else:
+                self.bc_delivered[fl.tree][fl.dst] += cnt
+        self._landing = []
+
+        # 2. arbitrate each channel from the cycle-start snapshot (credits
+        # are computed against start-of-cycle sent counters so credit
+        # return takes a full cycle, like a real credit loop)
+        self._sent_snap = [f.sent for f in self.flows]
+        moved = 0
+        for ch, fids in self.channel_flows.items():
+            budget = {
+                fid: min(
+                    self._eligible(self.flows[fid]),
+                    self._credit(fid),
+                )
+                for fid in fids
+            }
+            slots = self.capacity
+            start = self._rr[ch]
+            k = len(fids)
+            idle_scan = 0
+            i = start
+            granted: Dict[int, int] = {}
+            while slots > 0 and idle_scan < k:
+                fid = fids[i % k]
+                if budget[fid] > 0:
+                    budget[fid] -= 1
+                    granted[fid] = granted.get(fid, 0) + 1
+                    slots -= 1
+                    idle_scan = 0
+                else:
+                    idle_scan += 1
+                i += 1
+            self._rr[ch] = i % k if k else 0
+            for fid, cnt in granted.items():
+                self.flows[fid].sent += cnt
+                self._landing.append((fid, cnt))
+                self.channel_flits[ch] += cnt
+                moved += cnt
+        self.flits_moved += moved
+        return moved
+
+    def run(self, max_cycles: Optional[int] = None) -> CycleStats:
+        """Run to completion of all trees; raises ``RuntimeError`` on
+        stall or when ``max_cycles`` is exceeded."""
+        if max_cycles is None:
+            # generous: fill + serialized worst case (+ credit-loop slowdown)
+            depth = max((t.depth for t in self.trees), default=0)
+            stall_factor = 1 if self.buffer_size is None else (
+                1 + max(1, 2 * self.capacity) // self.buffer_size
+            )
+            max_cycles = 16 + 4 * depth + 8 * stall_factor * (sum(self.m) + 1) * max(
+                1, len(self.trees)
+            )
+        completion = [0] * len(self.trees)
+        done = [self._tree_done(i) for i in range(len(self.trees))]
+        cycle = 0
+        while not all(done):
+            moved = self.step()
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if moved == 0 and not self._landing:
+                # no progress and nothing in flight => deadlock (bug)
+                if not all(self._tree_done(i) or done[i] for i in range(len(done))):
+                    pending = [i for i in range(len(done)) if not self._tree_done(i)]
+                    if pending:
+                        raise RuntimeError(f"simulation stalled; pending trees {pending}")
+            for i in range(len(done)):
+                if not done[i] and self._tree_done(i):
+                    done[i] = True
+                    completion[i] = cycle
+        total_cycles = max(completion) if completion else 0
+        loads = [c for c in self.channel_flits.values() if c > 0]
+        denom = total_cycles * self.capacity
+        return CycleStats(
+            cycles=total_cycles,
+            tree_completion=tuple(completion),
+            flits_per_tree=tuple(self.m),
+            link_capacity=self.capacity,
+            flits_moved=self.flits_moved,
+            buffer_size=self.buffer_size,
+            max_channel_utilization=(max(loads) / denom) if loads and denom else 0.0,
+            mean_channel_utilization=(
+                sum(loads) / (len(loads) * denom) if loads and denom else 0.0
+            ),
+        )
+
+
+def simulate_allreduce(
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    flits_per_tree: Sequence[int],
+    link_capacity: int = 1,
+    max_cycles: Optional[int] = None,
+    buffer_size: Optional[int] = None,
+) -> CycleStats:
+    """One-shot convenience wrapper around :class:`CycleSimulator`."""
+    sim = CycleSimulator(g, trees, flits_per_tree, link_capacity, buffer_size)
+    return sim.run(max_cycles)

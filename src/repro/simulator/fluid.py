@@ -1,0 +1,86 @@
+"""Fluid (rate-based) Allreduce model — fast companion to the flit simulator.
+
+For large configurations the flit-level simulator is unnecessary: in steady
+state, fair link sharing converges to the max-min rates that Algorithm 1
+computes. The fluid model therefore assigns each tree its Algorithm 1 rate
+``B_i`` and charges a depth-proportional pipeline-fill latency, giving the
+completion-time estimate
+
+``T_i = 2 * depth(T_i) * hop_latency + m_i / B_i``
+
+(reduce up + broadcast down the same tree, both pipelined). The cycle
+simulator's measured completions are validated against this expression in
+the test suite and the model-validation benchmark (E-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bandwidth import Number, optimal_partition, tree_bandwidths
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["FluidResult", "fluid_simulate"]
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """Analytic per-tree timing for one Allreduce."""
+
+    rates: Tuple[Fraction, ...]  # Algorithm 1 bandwidth per tree
+    partition: Tuple[int, ...]  # sub-vector flits per tree
+    fill: Tuple[Fraction, ...]  # pipeline-fill latency per tree
+    completion: Tuple[Fraction, ...]  # fill + streaming time per tree
+
+    @property
+    def makespan(self) -> Fraction:
+        return max(self.completion)
+
+    @property
+    def aggregate_bandwidth(self) -> Fraction:
+        """Elements reduced per unit time at completion."""
+        total = sum(self.partition)
+        return Fraction(total) / self.makespan if self.makespan else Fraction(0)
+
+
+def fluid_simulate(
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    m: int,
+    link_bandwidth: Number = 1,
+    hop_latency: Number = 1,
+    partition: Optional[Sequence[int]] = None,
+) -> FluidResult:
+    """Rate-based simulation of an ``m``-element Allreduce over ``trees``.
+
+    ``partition`` defaults to the Equation 2 optimal split. All outputs are
+    exact rationals.
+    """
+    rates = tree_bandwidths(g, trees, link_bandwidth)
+    if partition is None:
+        partition = optimal_partition(m, rates)
+    elif len(partition) != len(trees):
+        raise ValueError("partition and trees length mismatch")
+    hop = Fraction(hop_latency) if not isinstance(hop_latency, float) else Fraction(
+        hop_latency
+    ).limit_denominator(10**9)
+    fill: List[Fraction] = []
+    completion: List[Fraction] = []
+    for t, mi, bi in zip(trees, partition, rates):
+        f = 2 * t.depth * hop
+        fill.append(f)
+        if mi == 0:
+            completion.append(Fraction(0))
+        elif bi == 0:
+            raise ValueError("nonzero flits assigned to a zero-bandwidth tree")
+        else:
+            completion.append(f + Fraction(int(mi)) / bi)
+    return FluidResult(
+        rates=tuple(rates),
+        partition=tuple(int(x) for x in partition),
+        fill=tuple(fill),
+        completion=tuple(completion),
+    )

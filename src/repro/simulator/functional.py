@@ -1,0 +1,118 @@
+"""Functional (numerically exact) execution of multi-tree in-network Allreduce.
+
+This simulator executes the *dataflow* of Section 4.3 — partial reductions
+flowing up each tree, the result broadcast down the same tree — on real
+NumPy data, which proves end to end that a plan's trees, partition and
+router roles compute the correct vector Allreduce: every node ends up with
+the element-wise reduction of all inputs.
+
+The data movement is performed strictly along tree edges (children
+aggregated into parents level by level), not as a shortcut global
+reduction, so a malformed tree or partition would produce wrong results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.plan import AllreducePlan
+from repro.trees.tree import SpanningTree
+
+__all__ = ["REDUCE_OPS", "reduce_on_tree", "execute_plan", "verify_plan"]
+
+REDUCE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def reduce_on_tree(
+    tree: SpanningTree, inputs: np.ndarray, op: str = "sum"
+) -> np.ndarray:
+    """Reduce ``inputs[v]`` over the tree's dataflow; returns the root value.
+
+    ``inputs`` has shape ``(N, m_t)``. Children's partials are combined
+    into their parent in decreasing-depth order — exactly the in-network
+    reduction schedule, where a node forwards its aggregate only after all
+    child streams arrived.
+    """
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
+    combine = REDUCE_OPS[op]
+    partial = inputs.astype(inputs.dtype, copy=True)
+    order = sorted(tree.vertices, key=tree.depth_of, reverse=True)
+    for v in order:
+        p = tree.parent.get(v)
+        if p is not None:
+            partial[p] = combine(partial[p], partial[v])
+    return partial[tree.root].copy()
+
+
+def execute_plan(
+    plan: AllreducePlan, inputs: np.ndarray, op: str = "sum"
+) -> np.ndarray:
+    """Run the full multi-tree Allreduce of ``plan`` on ``inputs``.
+
+    Parameters
+    ----------
+    plan:
+        An :class:`AllreducePlan`.
+    inputs:
+        Array of shape ``(N, m)`` — one ``m``-element vector per node.
+    op:
+        Associative reduction operator name.
+
+    Returns the ``(N, m)`` output array: every row is the element-wise
+    reduction of all input rows (each node receives the full result via
+    the broadcasts).
+
+    The vector is split into contiguous sub-vectors per Equation 2
+    (``plan.partition``); tree ``i`` reduces and broadcasts only its slice,
+    exactly as concurrent data-parallel trees would.
+    """
+    inputs = np.asarray(inputs)
+    if inputs.ndim != 2 or inputs.shape[0] != plan.num_nodes:
+        raise ValueError(
+            f"inputs must have shape (N={plan.num_nodes}, m); got {inputs.shape}"
+        )
+    m = inputs.shape[1]
+    parts = plan.partition(m)
+    out = np.empty_like(inputs)
+    offset = 0
+    for tree, width in zip(plan.trees, parts):
+        if width == 0:
+            continue
+        sl = slice(offset, offset + width)
+        root_value = reduce_on_tree(tree, inputs[:, sl], op)
+        # broadcast down the same tree: every vertex receives the root value
+        out[:, sl] = root_value[None, :]
+        offset += width
+    return out
+
+
+def verify_plan(
+    plan: AllreducePlan,
+    m: int = 64,
+    op: str = "sum",
+    seed: int = 0,
+    dtype=np.int64,
+) -> bool:
+    """Self-check: random integer inputs, compare the plan's dataflow output
+    with the direct element-wise reduction. Integer dtype keeps ``sum`` and
+    ``prod`` exact."""
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(1, 5, size=(plan.num_nodes, m)).astype(dtype)
+    got = execute_plan(plan, inputs, op)
+    if op == "sum":
+        want = inputs.sum(axis=0)
+    elif op == "prod":
+        want = inputs.prod(axis=0)
+    elif op == "max":
+        want = inputs.max(axis=0)
+    else:
+        want = inputs.min(axis=0)
+    return bool(np.array_equal(got, np.broadcast_to(want, got.shape)))

@@ -1,0 +1,65 @@
+"""Network-of-routers view: topology + per-router configuration + checks.
+
+Binds a physical :class:`Graph` to the router model of
+:mod:`repro.simulator.router` for a concrete tree embedding, and exposes
+the feasibility checks the paper's architecture discussion implies:
+
+- every dataflow edge is a physical link (deterministic embedding,
+  Section 4.4);
+- per-link VC requirement = congestion (Section 5.1);
+- per-port reduction fan-in, which Lemma 7.8 bounds at 1 for the
+  Algorithm 3 embedding (single shared arithmetic engine suffices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simulator.router import (
+    EmbeddingResources,
+    RouterConfig,
+    build_router_configs,
+    embedding_resources,
+)
+from repro.topology.graph import Graph
+from repro.trees.tree import Edge, SpanningTree, edge_congestion
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A topology populated with configured in-network-computing routers."""
+
+    def __init__(self, g: Graph, trees: Sequence[SpanningTree]):
+        for t in trees:
+            t.validate(g)
+        self.graph = g
+        self.trees = list(trees)
+        self.routers: List[RouterConfig] = build_router_configs(g, trees)
+
+    @property
+    def num_routers(self) -> int:
+        return self.graph.n
+
+    def router(self, v: int) -> RouterConfig:
+        return self.routers[v]
+
+    def link_vcs(self) -> Dict[Edge, int]:
+        """Virtual channels each link must provide (its congestion)."""
+        return edge_congestion(self.trees)
+
+    def resources(self) -> EmbeddingResources:
+        return embedding_resources(self.graph, self.trees)
+
+    def single_engine_feasible(self) -> bool:
+        """True iff no input port feeds more than one reduction — the
+        Lemma 7.8 property that lets each router run all its reductions on
+        one wide-radix arithmetic engine."""
+        return self.resources().max_reduction_inputs_per_port <= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r = self.resources()
+        return (
+            f"Network(n={self.num_routers}, trees={r.num_trees}, "
+            f"vcs={r.vcs_required}, engine_fan_in={r.max_reduction_fan_in})"
+        )

@@ -1,0 +1,137 @@
+"""Abstract in-network-computing router model (Section 4.4).
+
+Each network node hosts a router with one bidirectional port per incident
+link, a pipelined *reduction engine* that aggregates packets in-flight, and
+a configurable mapping between I/O ports and the engine — which is how a
+dataflow (spanning) tree is embedded onto the physical topology.
+
+This module derives, for a given set of embedded trees, exactly the
+resources the paper reasons about in Sections 5.1 and 7.1:
+
+- per-link *virtual channels* (or tagged tree states): equal to the link's
+  congestion;
+- per-port reduction fan-in: on Algorithm 3 embeddings, Lemma 7.8
+  guarantees each input port feeds at most one reduction, so a single
+  wide-radix arithmetic engine per router suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.topology.graph import Graph, canonical_edge
+from repro.trees.tree import Edge, SpanningTree, edge_congestion
+
+__all__ = ["TreePort", "RouterConfig", "build_router_configs", "embedding_resources"]
+
+
+@dataclass(frozen=True)
+class TreePort:
+    """The role a router's ports play for one embedded tree."""
+
+    tree_id: int
+    parent_port: Optional[int]  # neighbor id toward the root; None at the root
+    child_ports: Tuple[int, ...]  # neighbor ids of subtree children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_port is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.child_ports
+
+    @property
+    def reduction_fan_in(self) -> int:
+        """Input streams the reduction engine combines at this node for this
+        tree: one per child plus the node's own injected input."""
+        return len(self.child_ports) + 1
+
+
+@dataclass
+class RouterConfig:
+    """Port/engine configuration of one router across all embedded trees."""
+
+    node: int
+    ports: Tuple[int, ...]  # neighbor ids — one bidirectional port per link
+    tree_roles: Dict[int, TreePort] = field(default_factory=dict)
+
+    @property
+    def radix(self) -> int:
+        return len(self.ports)
+
+    def reductions_hosted(self) -> int:
+        """Trees whose reduction combines more than one stream here."""
+        return sum(1 for r in self.tree_roles.values() if r.child_ports)
+
+    def reduction_inputs_per_port(self) -> Dict[int, int]:
+        """For each port (neighbor id), the number of distinct tree
+        reductions it feeds. Lemma 7.8 implies this is <= 1 for the
+        Algorithm 3 embedding, enabling a single shared arithmetic engine."""
+        out = {p: 0 for p in self.ports}
+        for role in self.tree_roles.values():
+            for c in role.child_ports:
+                out[c] += 1
+        return out
+
+    def max_reduction_inputs_on_a_port(self) -> int:
+        per_port = self.reduction_inputs_per_port()
+        return max(per_port.values()) if per_port else 0
+
+
+def build_router_configs(g: Graph, trees: Sequence[SpanningTree]) -> List[RouterConfig]:
+    """Derive every router's configuration for an embedding.
+
+    Each tree must already be validated against ``g``; tree ids default to
+    their position in ``trees`` when unset.
+    """
+    configs = [
+        RouterConfig(node=v, ports=tuple(sorted(g.neighbors(v)))) for v in range(g.n)
+    ]
+    for idx, t in enumerate(trees):
+        tid = t.tree_id if t.tree_id is not None else idx
+        for v in t.vertices:
+            parent = t.parent.get(v)
+            role = TreePort(
+                tree_id=tid,
+                parent_port=parent,
+                child_ports=t.children(v),
+            )
+            if tid in configs[v].tree_roles:
+                raise ValueError(f"duplicate tree id {tid} at node {v}")
+            configs[v].tree_roles[tid] = role
+    return configs
+
+
+@dataclass(frozen=True)
+class EmbeddingResources:
+    """Aggregate hardware requirements of a tree embedding (Section 5.1)."""
+
+    num_trees: int
+    max_link_congestion: int  # VCs (or tree tags) per link
+    max_reduction_fan_in: int  # widest single reduction
+    max_reductions_per_router: int
+    max_reduction_inputs_per_port: int  # 1 => single shared engine suffices
+
+    @property
+    def vcs_required(self) -> int:
+        return self.max_link_congestion
+
+
+def embedding_resources(g: Graph, trees: Sequence[SpanningTree]) -> EmbeddingResources:
+    """Compute the router-resource footprint of an embedding."""
+    configs = build_router_configs(g, trees)
+    cong = edge_congestion(trees)
+    return EmbeddingResources(
+        num_trees=len(trees),
+        max_link_congestion=max(cong.values()) if cong else 0,
+        max_reduction_fan_in=max(
+            (r.reduction_fan_in for c in configs for r in c.tree_roles.values()),
+            default=0,
+        ),
+        max_reductions_per_router=max((c.reductions_hosted() for c in configs), default=0),
+        max_reduction_inputs_per_port=max(
+            (c.max_reduction_inputs_on_a_port() for c in configs), default=0
+        ),
+    )

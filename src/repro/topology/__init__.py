@@ -1,0 +1,92 @@
+"""Topology substrate: ER_q / PolarFly (both constructions), layout, routing.
+
+- :func:`polarfly_graph` — projective-geometry construction (Section 6.1).
+- :func:`singer_graph` / :func:`singer_difference_set` — Singer
+  difference-set construction (Section 6.2).
+- :func:`polarfly_layout` — Algorithm 2 cluster layout (Section 6.1.1).
+- :mod:`repro.topology.isomorphism` — Theorem 6.6 cross-validation.
+- :mod:`repro.topology.routing` — diameter-2 minimal routing (Theorem 6.1).
+"""
+
+from repro.topology.export import (
+    embedding_to_dot,
+    graph_to_dot,
+    graph_to_graphml,
+    singer_to_dot,
+)
+from repro.topology.families import (
+    complete_graph,
+    hypercube_graph,
+    hyperx_graph,
+    random_regular_graph,
+    ring_graph,
+    torus_graph,
+)
+from repro.topology.graph import Graph, canonical_edge
+from repro.topology.isomorphism import (
+    singer_vertex_classes,
+    structural_invariants,
+    verify_isomorphic,
+)
+from repro.topology.layout import PolarFlyLayout, polarfly_layout
+from repro.topology.layout_even import (
+    PolarFlyEvenLayout,
+    find_nucleus,
+    polarfly_even_layout,
+)
+from repro.topology.polarfly import V1, V2, PolarFly, W, polarfly_graph
+from repro.topology.projective import ProjectivePlane, projective_plane
+from repro.topology.routing import minimal_route, route_edges, traffic_per_link
+from repro.topology.validate import ERValidationReport, infer_q, validate_er_graph
+from repro.topology.singer import (
+    SingerGraph,
+    difference_table,
+    edge_sum,
+    is_perfect_difference_set,
+    reflection_points,
+    singer_difference_set,
+    singer_graph,
+)
+
+__all__ = [
+    "Graph",
+    "canonical_edge",
+    "graph_to_dot",
+    "embedding_to_dot",
+    "singer_to_dot",
+    "graph_to_graphml",
+    "ring_graph",
+    "complete_graph",
+    "hypercube_graph",
+    "torus_graph",
+    "hyperx_graph",
+    "random_regular_graph",
+    "PolarFly",
+    "polarfly_graph",
+    "ProjectivePlane",
+    "projective_plane",
+    "W",
+    "V1",
+    "V2",
+    "PolarFlyLayout",
+    "polarfly_layout",
+    "PolarFlyEvenLayout",
+    "polarfly_even_layout",
+    "find_nucleus",
+    "SingerGraph",
+    "singer_graph",
+    "singer_difference_set",
+    "is_perfect_difference_set",
+    "difference_table",
+    "reflection_points",
+    "edge_sum",
+    "structural_invariants",
+    "verify_isomorphic",
+    "singer_vertex_classes",
+    "minimal_route",
+    "route_edges",
+    "traffic_per_link",
+    "ERValidationReport",
+    "infer_q",
+    "validate_er_graph",
+]

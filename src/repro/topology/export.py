@@ -1,0 +1,99 @@
+"""Export topologies and tree embeddings for external visualization.
+
+Writes Graphviz DOT (self-contained, no dependencies) and GraphML (via
+networkx) so the PolarFly layouts, Singer colorings and tree embeddings
+can be rendered with standard tooling — the library's stand-in for the
+paper's Figures 1, 2 and 4 drawings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.topology.graph import Graph, canonical_edge
+from repro.trees.tree import SpanningTree
+
+__all__ = ["graph_to_dot", "embedding_to_dot", "graph_to_graphml", "singer_to_dot"]
+
+_TREE_COLORS = (
+    "red", "blue", "green", "orange", "purple", "brown", "cyan", "magenta",
+    "gold", "darkgreen", "navy", "salmon", "turquoise", "violet", "olive",
+)
+
+
+def graph_to_dot(
+    g: Graph,
+    name: str = "G",
+    node_labels: Optional[Mapping[int, str]] = None,
+    node_colors: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Render a graph as Graphviz DOT, with optional vertex labels/colors
+    (e.g. the W/V1/V2 classes of Figure 1)."""
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for v in range(g.n):
+        attrs = []
+        if node_labels and v in node_labels:
+            attrs.append(f'label="{node_labels[v]}"')
+        if node_colors and v in node_colors:
+            attrs.append(f'style=filled fillcolor="{node_colors[v]}"')
+        if v in g.self_loops:
+            attrs.append("peripheries=2")  # mark quadrics/reflection points
+        lines.append(f"  {v} [{' '.join(attrs)}];" if attrs else f"  {v};")
+    for u, v in sorted(g.edges):
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def embedding_to_dot(
+    g: Graph, trees: Sequence[SpanningTree], name: str = "Embedding"
+) -> str:
+    """Render a multi-tree embedding: tree edges colored per tree, directed
+    toward the root (the reduction flow); unused physical links in grey."""
+    lines = [f"digraph {name} {{", "  node [shape=circle];", "  edge [dir=none];"]
+    used: Dict = {}
+    for i, t in enumerate(trees):
+        color = _TREE_COLORS[i % len(_TREE_COLORS)]
+        lines.append(f"  // tree {t.tree_id if t.tree_id is not None else i} "
+                     f"root={t.root} ({color})")
+        for v, p in sorted(t.parent.items()):
+            lines.append(f'  {v} -> {p} [dir=forward color="{color}"];')
+            used[canonical_edge(v, p)] = True
+    for u, v in sorted(g.edges):
+        if (u, v) not in used:
+            lines.append(f'  {u} -> {v} [color="grey80"];')
+    for t in trees:
+        lines.append(f"  {t.root} [style=filled fillcolor=lightgrey];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def singer_to_dot(sg, name: str = "Singer") -> str:
+    """Figure 2-style rendering of a Singer graph: edges colored by their
+    difference-set edge sum, reflection points double-circled."""
+    palette = {d: _TREE_COLORS[i % len(_TREE_COLORS)] for i, d in enumerate(sg.dset)}
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for v in range(sg.n):
+        if v in sg.graph.self_loops:
+            color = palette[(2 * v) % sg.n]
+            lines.append(f'  {v} [peripheries=2 color="{color}"];')
+        else:
+            lines.append(f"  {v};")
+    for u, v in sorted(sg.graph.edges):
+        d = (u + v) % sg.n
+        lines.append(f'  {u} -- {v} [color="{palette[d]}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_graphml(g: Graph, path: str, include_self_loops: bool = True) -> None:
+    """Write GraphML via networkx (vertex attribute ``self_loop`` marks
+    quadrics/reflection points)."""
+    import networkx as nx
+
+    nxg = g.to_networkx()
+    for v in nxg.nodes:
+        nxg.nodes[v]["self_loop"] = v in g.self_loops
+    if include_self_loops:
+        nxg.add_edges_from((v, v) for v in g.self_loops)
+    nx.write_graphml(nxg, path)

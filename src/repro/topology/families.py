@@ -1,0 +1,134 @@
+"""Reference topology families for baselines and generality tests.
+
+The paper positions PolarFly against direct networks such as
+multi-dimensional tori and HyperX (Section 1.2) and against indirect
+fat-trees; its multi-tree idea applies to any direct network. These
+generators provide the standard families so the library's generic pieces
+(Algorithm 1, the greedy embedder, the simulators, the host-based
+baselines) can be exercised and compared beyond PolarFly.
+
+All generators return the library's :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.graph import Graph
+
+__all__ = [
+    "ring_graph",
+    "complete_graph",
+    "hypercube_graph",
+    "torus_graph",
+    "hyperx_graph",
+    "random_regular_graph",
+]
+
+
+def ring_graph(n: int) -> Graph:
+    """Cycle of ``n`` nodes (the substrate of ring Allreduce)."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n — the trivial diameter-1 network."""
+    if n < 2:
+        raise ValueError("a complete graph needs at least 2 nodes")
+    return Graph.from_edges(n, itertools.combinations(range(n), 2))
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional Boolean hypercube, ``2^dim`` nodes.
+
+    Section 4.3 notes Allreduce can also run on a hypercube (recursive
+    doubling is exactly the hypercube exchange pattern).
+    """
+    if dim < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
+    return Graph.from_edges(n, edges)
+
+
+def torus_graph(dims: Sequence[int]) -> Graph:
+    """k-ary n-dimensional torus (wrap-around grid), e.g. ``[4, 4, 4]``.
+
+    Dimensions of size 2 would create duplicate (parallel) links; the
+    duplicate collapses into a single link in a simple graph, as in most
+    simulators.
+    """
+    dims = list(dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("every torus dimension must be >= 2")
+    n = int(np.prod(dims))
+    strides = [1] * len(dims)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+
+    def index(coord: Tuple[int, ...]) -> int:
+        return sum(c * s for c, s in zip(coord, strides))
+
+    g = Graph(n)
+    for coord in itertools.product(*(range(d) for d in dims)):
+        v = index(coord)
+        for axis, d in enumerate(dims):
+            nxt = list(coord)
+            nxt[axis] = (coord[axis] + 1) % d
+            g.add_edge(v, index(tuple(nxt)))
+    return g
+
+
+def hyperx_graph(dims: Sequence[int]) -> Graph:
+    """HyperX: the Hamming graph — nodes are coordinate tuples, fully
+    connected within every dimension (Ahn et al.; paper Section 1.2)."""
+    dims = list(dims)
+    if not dims or any(d < 2 for d in dims):
+        raise ValueError("every HyperX dimension must be >= 2")
+    n = int(np.prod(dims))
+    strides = [1] * len(dims)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+
+    def index(coord: Tuple[int, ...]) -> int:
+        return sum(c * s for c, s in zip(coord, strides))
+
+    g = Graph(n)
+    for coord in itertools.product(*(range(d) for d in dims)):
+        v = index(coord)
+        for axis, d in enumerate(dims):
+            for other in range(coord[axis] + 1, d):
+                nxt = list(coord)
+                nxt[axis] = other
+                g.add_edge(v, index(tuple(nxt)))
+    return g
+
+
+def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 200) -> Graph:
+    """A connected random ``degree``-regular graph via the pairing model
+    (resampled until simple and connected)."""
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be < n")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            continue
+        edge_set = {tuple(sorted(p)) for p in pairs.tolist()}
+        if len(edge_set) != len(pairs):
+            continue
+        g = Graph.from_edges(n, edge_set)
+        if g.is_connected():
+            return g
+    raise RuntimeError(
+        f"failed to sample a connected simple {degree}-regular graph on {n} nodes"
+    )

@@ -1,0 +1,87 @@
+"""Cross-validation of the two PolarFly constructions (Theorem 6.6).
+
+The projective-geometry graph ER_q and the Singer graph S_q are isomorphic;
+this module provides (a) cheap structural invariants that must agree for
+every radix, and (b) an exact isomorphism check (VF2 via networkx) that is
+practical for the small radixes used in tests.
+
+Corollaries 6.8/6.9 also identify the vertex classes across constructions:
+quadrics <-> reflection points, V1 <-> reflection-point neighbors. The
+helpers here expose those classifications for the Singer side so tests can
+assert the class cardinalities match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.topology.polarfly import PolarFly
+from repro.topology.singer import SingerGraph
+from repro.topology.graph import Graph
+
+__all__ = [
+    "structural_invariants",
+    "verify_isomorphic",
+    "singer_vertex_classes",
+]
+
+
+def structural_invariants(g: Graph) -> Dict[str, object]:
+    """Invariants preserved by isomorphism: sizes, degrees, triangle count."""
+    triangles = 0
+    for u in range(g.n):
+        nu = g.neighbors(u)
+        for v in nu:
+            if v > u:
+                triangles += sum(1 for w in (g.neighbors(v) & nu) if w > v)
+    return {
+        "n": g.n,
+        "m": g.num_edges,
+        "self_loops": len(g.self_loops),
+        "degree_sequence": tuple(g.degree_sequence()),
+        "triangles": triangles,
+    }
+
+
+def verify_isomorphic(pf: PolarFly, sg: SingerGraph) -> bool:
+    """Exact isomorphism test between ER_q and S_q (self-loops as labels).
+
+    Quadrics must map to reflection points, so the VF2 search is run on
+    vertex-labelled graphs (label = has-self-loop), which also prunes it
+    dramatically.
+    """
+    import networkx as nx
+
+    if structural_invariants(pf.graph) != structural_invariants(sg.graph):
+        return False
+
+    g1 = pf.graph.to_networkx()
+    g2 = sg.graph.to_networkx()
+    for v in g1.nodes:
+        g1.nodes[v]["loop"] = v in pf.graph.self_loops
+    for v in g2.nodes:
+        g2.nodes[v]["loop"] = v in sg.graph.self_loops
+    return nx.is_isomorphic(
+        g1, g2, node_match=lambda a, b: a["loop"] == b["loop"]
+    )
+
+
+def singer_vertex_classes(sg: SingerGraph) -> Dict[str, Tuple[int, ...]]:
+    """Quadric/V1/V2 classification on the Singer side (Corollaries 6.8/6.9).
+
+    - ``W``: reflection points (``2^{-1} d`` for ``d in D``),
+    - ``V1``: neighbors of reflection points that are not themselves
+      reflection points,
+    - ``V2``: everything else.
+    """
+    refl = set(sg.reflections)
+    v1 = set()
+    for w in refl:
+        v1 |= sg.graph.neighbors(w)
+    v1 -= refl
+    v2 = set(range(sg.n)) - refl - v1
+    return {
+        "W": tuple(sorted(refl)),
+        "V1": tuple(sorted(v1)),
+        "V2": tuple(sorted(v2)),
+    }

@@ -1,0 +1,180 @@
+"""PolarFly modular layout — Algorithm 2 of the paper (Section 6.1.1).
+
+The layout partitions the ER_q vertices into one *quadric cluster* ``W``
+(all ``q + 1`` quadrics) and ``q`` *non-quadric clusters* ``C_0..C_{q-1}``,
+one per neighbor ``v_i`` of an arbitrary *starter quadric* ``w``; ``v_i``
+is the cluster's *center* and the remaining members are the non-quadric
+neighbors of ``v_i``.
+
+The low-depth Allreduce trees of Section 7.1 are built directly on this
+layout, using Lemma 7.2 / Corollary 7.3: every center ``v_i`` has exactly
+two quadric neighbors — the starter ``w`` and a *unique* non-starter
+quadric ``w_i`` — and the map ``v_i <-> w_i`` is a bijection between
+centers and non-starter quadrics.
+
+The paper derives the layout for odd prime powers ``q`` (even ``q`` has "a
+conceptually similar layout" not given in the paper); we raise
+:class:`UnsupportedRadixError` for even ``q``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.polarfly import PolarFly, polarfly_graph
+from repro.utils.errors import ConstructionError, UnsupportedRadixError
+
+__all__ = ["PolarFlyLayout", "polarfly_layout"]
+
+
+class PolarFlyLayout:
+    """Clusters of Algorithm 2, plus the center/quadric correspondences.
+
+    Parameters
+    ----------
+    pf:
+        The PolarFly topology to lay out (odd prime power ``q``).
+    starter:
+        Starter quadric ``w``; defaults to the smallest-indexed quadric.
+        Must be a quadric of ``pf``.
+
+    Attributes
+    ----------
+    starter:
+        The starter quadric ``w``.
+    quadric_cluster:
+        Sorted tuple of all ``q + 1`` quadrics (cluster ``W``).
+    centers:
+        ``centers[i]`` is the center ``v_i`` of cluster ``C_i`` —
+        the ``q`` neighbors of the starter, in ascending index order.
+    clusters:
+        ``clusters[i]`` is the sorted member tuple of ``C_i`` (center
+        included).
+    """
+
+    def __init__(self, pf: PolarFly, starter: Optional[int] = None):
+        if pf.q % 2 == 0:
+            raise UnsupportedRadixError(
+                f"the Algorithm 2 layout is derived for odd prime powers; got q={pf.q} "
+                "(Section 6.1.1; even q needs the paper's unpublished variant)"
+            )
+        self.pf = pf
+        g = pf.graph
+        if starter is None:
+            starter = pf.quadrics[0]
+        if not pf.is_quadric(starter):
+            raise ValueError(f"starter {starter} is not a quadric of ER_{pf.q}")
+        self.starter = starter
+        self.quadric_cluster: Tuple[int, ...] = pf.quadrics
+
+        quadric_set = set(pf.quadrics)
+        self.centers: Tuple[int, ...] = tuple(sorted(g.neighbors(starter)))
+        if len(self.centers) != pf.q:
+            raise ConstructionError(
+                f"starter quadric must have q={pf.q} neighbors, found {len(self.centers)}"
+            )
+
+        clusters: List[Tuple[int, ...]] = []
+        owner: Dict[int, int] = {}
+        for i, c in enumerate(self.centers):
+            members = {c} | {u for u in g.neighbors(c) if u not in quadric_set}
+            clusters.append(tuple(sorted(members)))
+            for u in members:
+                if u in owner:
+                    raise ConstructionError(
+                        f"vertex {u} assigned to clusters {owner[u]} and {i}"
+                    )
+                owner[u] = i
+        self.clusters: Tuple[Tuple[int, ...], ...] = tuple(clusters)
+        self._owner = owner
+
+        if len(owner) + len(quadric_set) != pf.n:
+            raise ConstructionError("layout does not cover every vertex exactly once")
+
+        # Lemma 7.2 / Corollary 7.3: v_i's quadric neighbors are {w, w_i}
+        # with the non-starter w_i unique per center.
+        ns: Dict[int, int] = {}
+        seen = set()
+        for i, c in enumerate(self.centers):
+            qs = sorted(u for u in g.neighbors(c) if u in quadric_set)
+            if len(qs) != 2 or self.starter not in qs:
+                raise ConstructionError(
+                    f"center {c} must have quadric neighbors {{w, w_i}}, got {qs}"
+                )
+            wi = qs[0] if qs[1] == self.starter else qs[1]
+            if wi in seen:
+                raise ConstructionError(f"non-starter quadric {wi} claimed twice")
+            seen.add(wi)
+            ns[i] = wi
+        self._nonstarter: Dict[int, int] = ns
+        self._center_of_quadric: Dict[int, int] = {w: i for i, w in ns.items()}
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def q(self) -> int:
+        return self.pf.q
+
+    def cluster_of(self, v: int) -> Optional[int]:
+        """Index ``i`` of the non-quadric cluster containing ``v``; ``None``
+        for quadrics (they live in cluster ``W``)."""
+        return self._owner.get(v)
+
+    def center_of(self, i: int) -> int:
+        """Center ``v_i`` of cluster ``C_i``."""
+        return self.centers[i]
+
+    def is_center(self, v: int) -> bool:
+        i = self._owner.get(v)
+        return i is not None and self.centers[i] == v
+
+    def nonstarter_quadric_of(self, i: int) -> int:
+        """The unique non-starter quadric ``w_i`` adjacent to center ``v_i``
+        (Corollary 7.3)."""
+        return self._nonstarter[i]
+
+    def cluster_of_nonstarter_quadric(self, w: int) -> int:
+        """Inverse of :meth:`nonstarter_quadric_of`."""
+        if w not in self._center_of_quadric:
+            raise ValueError(f"{w} is not a non-starter quadric of this layout")
+        return self._center_of_quadric[w]
+
+    def nonstarter_quadrics(self) -> Tuple[int, ...]:
+        return tuple(self._nonstarter[i] for i in range(self.q))
+
+    # ---------------------------------------------- Properties 1-3 metrics
+
+    def edges_within_cluster(self, i: int) -> int:
+        """Edge count of the subgraph induced by ``C_i``."""
+        members = set(self.clusters[i])
+        g = self.pf.graph
+        return sum(1 for u in members for v in g.neighbors(u) if v in members and u < v)
+
+    def edges_between_clusters(self, i: int, j: int) -> int:
+        """Edge count between distinct clusters ``C_i`` and ``C_j``
+        (Property 3: always ``q - 2``)."""
+        if i == j:
+            raise ValueError("use edges_within_cluster for i == j")
+        a, b = set(self.clusters[i]), set(self.clusters[j])
+        g = self.pf.graph
+        return sum(1 for u in a for v in g.neighbors(u) if v in b)
+
+    def edges_to_quadric_cluster(self, i: int) -> int:
+        """Edge count between ``C_i`` and ``W`` (Property 2: ``q + 1``)."""
+        members = set(self.clusters[i])
+        qs = set(self.quadric_cluster)
+        g = self.pf.graph
+        return sum(1 for u in members for v in g.neighbors(u) if v in qs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolarFlyLayout(q={self.q}, starter={self.starter}, "
+            f"clusters={len(self.clusters)})"
+        )
+
+
+@lru_cache(maxsize=None)
+def polarfly_layout(q: int, starter: Optional[int] = None) -> PolarFlyLayout:
+    """Memoized Algorithm 2 layout of ER_q."""
+    return PolarFlyLayout(polarfly_graph(q), starter)

@@ -1,0 +1,156 @@
+"""PolarFly cluster layout for even prime powers ``q = 2^a`` (extension).
+
+The paper derives Algorithm 2 for odd ``q`` and notes a "conceptually
+similar layout" exists for even ``q`` without giving it (Section 6.1.1).
+This module supplies one, built on the classic characteristic-2 geometry:
+in PG(2, 2^a) the quadrics form a conic whose tangent lines all meet in a
+single point — the **nucleus** — which in ER_q terms is the unique vertex
+whose neighborhood is exactly the quadric set ``W``.
+
+Layout (verified by construction for every even prime power we support):
+
+- cluster ``W``: the ``q + 1`` quadrics (pairwise non-adjacent);
+- the nucleus: a singleton cluster, adjacent to all of ``W`` and nothing
+  else;
+- ``q - 1`` non-quadric clusters ``C_i`` of ``q + 1`` vertices each: one
+  per neighbor ``v_i`` of a starter quadric ``w`` other than the nucleus
+  (the *center*), containing the center and its ``q`` non-quadric,
+  non-nucleus neighbors.
+
+Structural properties (the even-q analogues of Properties 1-3, asserted
+in the constructor and the tests):
+
+1. the clusters partition ``V``: (q-1)(q+1) + (q+1) + 1 = q^2 + q + 1;
+2. every pair of distinct clusters ``C_i, C_j`` is joined by exactly
+   ``q`` edges (vs ``q - 2`` for odd q);
+3. every cluster has exactly ``q + 1`` edges to ``W`` — one per quadric —
+   and every non-center member has exactly one quadric neighbor;
+4. centers have exactly one quadric neighbor (the starter ``w``): the
+   even-q counterpart of Lemma 7.2's two.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.polarfly import PolarFly, polarfly_graph
+from repro.utils.errors import ConstructionError, UnsupportedRadixError
+
+__all__ = ["PolarFlyEvenLayout", "polarfly_even_layout", "find_nucleus"]
+
+
+def find_nucleus(pf: PolarFly) -> int:
+    """The unique vertex whose neighborhood is exactly the quadric set
+    (exists iff ``q`` is even)."""
+    if pf.q % 2 == 1:
+        raise UnsupportedRadixError(f"ER_{pf.q} (odd q) has no nucleus")
+    w_set = set(pf.quadrics)
+    hits = [
+        v for v in range(pf.n)
+        if v not in w_set and pf.graph.neighbors(v) == w_set
+    ]
+    if len(hits) != 1:  # pragma: no cover - guaranteed by char-2 geometry
+        raise ConstructionError(f"expected one nucleus, found {hits}")
+    return hits[0]
+
+
+class PolarFlyEvenLayout:
+    """Even-q cluster layout: quadrics + nucleus + ``q - 1`` clusters."""
+
+    def __init__(self, pf: PolarFly, starter: Optional[int] = None):
+        if pf.q % 2 == 1:
+            raise UnsupportedRadixError(
+                f"use PolarFlyLayout (Algorithm 2) for odd q; got q={pf.q}"
+            )
+        self.pf = pf
+        g = pf.graph
+        self.nucleus = find_nucleus(pf)
+        if starter is None:
+            starter = pf.quadrics[0]
+        if not pf.is_quadric(starter):
+            raise ValueError(f"starter {starter} is not a quadric of ER_{pf.q}")
+        self.starter = starter
+        self.quadric_cluster: Tuple[int, ...] = pf.quadrics
+
+        quadric_set = set(pf.quadrics)
+        self.centers: Tuple[int, ...] = tuple(
+            v for v in sorted(g.neighbors(starter)) if v != self.nucleus
+        )
+        if len(self.centers) != pf.q - 1:
+            raise ConstructionError(
+                f"expected q-1={pf.q - 1} centers, found {len(self.centers)}"
+            )
+
+        clusters: List[Tuple[int, ...]] = []
+        owner: Dict[int, int] = {}
+        for i, c in enumerate(self.centers):
+            members = {c} | {
+                u for u in g.neighbors(c)
+                if u not in quadric_set and u != self.nucleus
+            }
+            if len(members) != pf.q + 1:
+                raise ConstructionError(
+                    f"cluster of center {c} has {len(members)} members, "
+                    f"expected {pf.q + 1}"
+                )
+            clusters.append(tuple(sorted(members)))
+            for u in members:
+                if u in owner:
+                    raise ConstructionError(
+                        f"vertex {u} in clusters {owner[u]} and {i}"
+                    )
+                owner[u] = i
+        self.clusters: Tuple[Tuple[int, ...], ...] = tuple(clusters)
+        self._owner = owner
+
+        covered = len(owner) + len(quadric_set) + 1  # + nucleus
+        if covered != pf.n:
+            raise ConstructionError("even-q layout does not partition V")
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def q(self) -> int:
+        return self.pf.q
+
+    def center_of(self, i: int) -> int:
+        return self.centers[i]
+
+    def cluster_of(self, v: int) -> Optional[int]:
+        """Cluster index of ``v``; ``None`` for quadrics and the nucleus."""
+        return self._owner.get(v)
+
+    def quadric_neighbor_of_member(self, u: int) -> int:
+        """The unique quadric adjacent to a non-quadric, non-nucleus ``u``."""
+        qs = [x for x in self.pf.graph.neighbors(u) if self.pf.is_quadric(x)]
+        if len(qs) != 1:
+            raise ConstructionError(
+                f"{u} has {len(qs)} quadric neighbors; expected 1 (even q)"
+            )
+        return qs[0]
+
+    def edges_between_clusters(self, i: int, j: int) -> int:
+        if i == j:
+            raise ValueError("clusters must be distinct")
+        a, b = set(self.clusters[i]), set(self.clusters[j])
+        g = self.pf.graph
+        return sum(1 for u in a for v in g.neighbors(u) if v in b)
+
+    def edges_to_quadric_cluster(self, i: int) -> int:
+        members = set(self.clusters[i])
+        qs = set(self.quadric_cluster)
+        g = self.pf.graph
+        return sum(1 for u in members for v in g.neighbors(u) if v in qs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolarFlyEvenLayout(q={self.q}, starter={self.starter}, "
+            f"nucleus={self.nucleus}, clusters={len(self.clusters)})"
+        )
+
+
+@lru_cache(maxsize=None)
+def polarfly_even_layout(q: int, starter: Optional[int] = None) -> PolarFlyEvenLayout:
+    """Memoized even-q layout of ER_q."""
+    return PolarFlyEvenLayout(polarfly_graph(q), starter)

@@ -1,0 +1,171 @@
+"""PolarFly / Erdős–Rényi polarity graph ER_q — projective-geometry construction.
+
+Section 6.1: vertices are the left-normalized nonzero vectors of ``F_q^3``
+(the points of the projective plane PG(2, q)); ``(u, v)`` is an edge iff the
+dot product ``u . v`` vanishes in ``F_q``. Vertices orthogonal to themselves
+are *quadrics*; their self-loops are recorded but are not physical links.
+
+The vertex set is integer-indexed in the canonical order
+
+- ``i in [0, q^2)``        ->  ``[1, i // q, i % q]``
+- ``i in [q^2, q^2 + q)``  ->  ``[0, 1, i - q^2]``
+- ``i == q^2 + q``         ->  ``[0, 0, 1]``
+
+so ``N = q^2 + q + 1``. The adjacency build is NumPy-vectorized in row
+blocks (the full ``N x N`` dot-product matrix would not fit for large
+radixes, so we never materialize it).
+
+Vertex classes (Table 1): quadrics ``W(q)``, quadric-adjacent ``V1(q)`` and
+the rest ``V2(q)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gf import get_field
+from repro.topology.graph import Graph
+from repro.utils.numbertheory import prime_power_decomposition
+
+__all__ = ["PolarFly", "polarfly_graph", "W", "V1", "V2"]
+
+# Vertex-type tags (Table 1).
+W = "W"
+V1 = "V1"
+V2 = "V2"
+
+_BLOCK_ROWS = 256  # adjacency build block size; bounds temporaries to ~N*256
+
+
+class PolarFly:
+    """The ER_q polarity graph with vertex classification and vector coding.
+
+    Use :func:`polarfly_graph` to get memoized instances.
+    """
+
+    def __init__(self, q: int):
+        prime_power_decomposition(q)  # validates q
+        self.q = q
+        self.n = q * q + q + 1
+        self.field = get_field(q)
+        self.vectors = self._build_vectors()
+        self.graph = self._build_graph()
+        self.quadrics: Tuple[int, ...] = tuple(sorted(self.graph.self_loops))
+        v1 = set()
+        for w in self.quadrics:
+            v1 |= self.graph.neighbors(w)
+        v1 -= set(self.quadrics)
+        self.v1_vertices: Tuple[int, ...] = tuple(sorted(v1))
+        self.v2_vertices: Tuple[int, ...] = tuple(
+            v for v in range(self.n) if v not in self.graph.self_loops and v not in v1
+        )
+        self._type: Dict[int, str] = {}
+        for v in self.quadrics:
+            self._type[v] = W
+        for v in self.v1_vertices:
+            self._type[v] = V1
+        for v in self.v2_vertices:
+            self._type[v] = V2
+
+    # ---------------------------------------------------------------- build
+
+    def _build_vectors(self) -> np.ndarray:
+        q, n = self.q, self.n
+        vecs = np.zeros((n, 3), dtype=np.int64)
+        idx = np.arange(q * q)
+        vecs[: q * q, 0] = 1
+        vecs[: q * q, 1] = idx // q
+        vecs[: q * q, 2] = idx % q
+        vecs[q * q : q * q + q, 1] = 1
+        vecs[q * q : q * q + q, 2] = np.arange(q)
+        vecs[n - 1, 2] = 1
+        return vecs
+
+    def _build_graph(self) -> Graph:
+        f, vecs, n = self.field, self.vectors, self.n
+        g = Graph(n)
+        for lo in range(0, n, _BLOCK_ROWS):
+            hi = min(lo + _BLOCK_ROWS, n)
+            block = vecs[lo:hi]  # (b, 3)
+            # dot[b, j] = sum_k block[b,k] * vecs[j,k] in F_q
+            dot = f.vmul(block[:, None, 0], vecs[None, :, 0])
+            dot = f.vadd(dot, f.vmul(block[:, None, 1], vecs[None, :, 1]))
+            dot = f.vadd(dot, f.vmul(block[:, None, 2], vecs[None, :, 2]))
+            rows, cols = np.nonzero(dot == 0)
+            rows = rows + lo
+            keep = rows <= cols  # one canonical direction (== keeps self-loops)
+            g.add_edges_bulk(rows[keep], cols[keep])
+        return g
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def radix(self) -> int:
+        """Network radix d = q + 1 (max degree, Section 6)."""
+        return self.q + 1
+
+    def vertex_type(self, v: int) -> str:
+        """Return ``'W'``, ``'V1'`` or ``'V2'`` per Table 1."""
+        return self._type[v]
+
+    def vertex_vector(self, v: int) -> Tuple[int, int, int]:
+        """Left-normalized coordinate vector of vertex ``v``."""
+        return tuple(int(c) for c in self.vectors[v])
+
+    def vertex_index(self, vec) -> int:
+        """Index of the projective point containing ``vec`` (any nonzero rep).
+
+        Left-normalizes ``vec`` by the inverse of its leading nonzero
+        coordinate, then inverts the canonical coding.
+        """
+        f = self.field
+        x, y, z = (int(c) % f.order for c in vec)
+        if x == 0 and y == 0 and z == 0:
+            raise ValueError("the zero vector is not a projective point")
+        if x != 0:
+            s = f.inv(x)
+            y, z = f.mul(s, y), f.mul(s, z)
+            return y * self.q + z
+        if y != 0:
+            s = f.inv(y)
+            return self.q * self.q + f.mul(s, z)
+        return self.n - 1
+
+    def dot(self, u: int, v: int) -> int:
+        """Dot product of the coordinate vectors of vertices ``u`` and ``v``."""
+        f = self.field
+        a, b = self.vectors[u], self.vectors[v]
+        acc = 0
+        for k in range(3):
+            acc = f.add(acc, f.mul(int(a[k]), int(b[k])))
+        return acc
+
+    def is_quadric(self, v: int) -> bool:
+        return self._type[v] == W
+
+    def counts(self) -> Dict[str, int]:
+        """Global vertex-type counts (first row of Table 1)."""
+        return {
+            W: len(self.quadrics),
+            V1: len(self.v1_vertices),
+            V2: len(self.v2_vertices),
+        }
+
+    def neighborhood_counts(self, v: int) -> Dict[str, int]:
+        """Counts of each vertex type among ``v``'s neighbors (Table 1 rows)."""
+        out = {W: 0, V1: 0, V2: 0}
+        for u in self.graph.neighbors(v):
+            out[self._type[u]] += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolarFly(q={self.q}, N={self.n}, radix={self.radix})"
+
+
+@lru_cache(maxsize=None)
+def polarfly_graph(q: int) -> PolarFly:
+    """Memoized ER_q construction for prime-power ``q``."""
+    return PolarFly(q)

@@ -1,0 +1,50 @@
+"""Minimal-path routing on diameter-2 topologies.
+
+Theorem 6.1: ER_q has diameter 2 and *at most one* 2-hop path between any
+pair of distinct vertices, so minimal routing is deterministic: direct link
+if present, otherwise the unique common neighbor. This is the routing used
+by the host-based Allreduce baselines to account per-link traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Graph, canonical_edge
+
+__all__ = ["minimal_route", "route_edges", "traffic_per_link"]
+
+
+def minimal_route(g: Graph, src: int, dst: int) -> List[int]:
+    """The minimal path ``[src, ..., dst]``.
+
+    Raises ``ValueError`` if the endpoints are further than 2 hops apart
+    (cannot happen on ER_q) or if the 2-hop midpoint is ambiguous on a
+    topology without the unique-path property.
+    """
+    if src == dst:
+        return [src]
+    if g.has_edge(src, dst):
+        return [src, dst]
+    mids = g.paths_of_length_two(src, dst)
+    if not mids:
+        raise ValueError(f"{src} and {dst} are more than 2 hops apart")
+    # ER_q guarantees a unique midpoint; on other topologies pick the
+    # smallest for determinism.
+    return [src, mids[0], dst]
+
+
+def route_edges(g: Graph, src: int, dst: int) -> List[Tuple[int, int]]:
+    """Canonical undirected edges along the minimal route."""
+    path = minimal_route(g, src, dst)
+    return [canonical_edge(a, b) for a, b in zip(path, path[1:])]
+
+
+def traffic_per_link(g: Graph, flows: List[Tuple[int, int, float]]) -> Dict[Tuple[int, int], float]:
+    """Aggregate per-link traffic for ``(src, dst, volume)`` flows under
+    minimal routing. Used to expose congestion of host-based collectives."""
+    load: Dict[Tuple[int, int], float] = {}
+    for src, dst, vol in flows:
+        for e in route_edges(g, src, dst):
+            load[e] = load.get(e, 0.0) + vol
+    return load

@@ -1,0 +1,109 @@
+"""Topology validation: certify that a graph really is an ER_q / PolarFly.
+
+Useful when a topology arrives from outside the library (a wiring list, a
+GraphML file, another generator): the tree constructions and their
+guarantees rely on ER_q's exact structure, so we check the
+characterization used throughout the paper before trusting it:
+
+- ``N = q^2 + q + 1`` vertices for a prime-power ``q``;
+- exactly ``q + 1`` vertices of degree ``q`` (the quadrics) and ``q^2`` of
+  degree ``q + 1``;
+- diameter 2 with **at most one** 2-hop path between any two distinct
+  vertices and at most one common neighbor for adjacent ones — the
+  friendship-like property of Theorem 6.1 (equivalently: the graph is a
+  polarity graph of a projective plane of order ``q``).
+
+These checks are sound for rejecting wrong graphs and complete for the
+library's own constructions; they are quadratic in ``N`` and intended for
+validation, not hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.topology.graph import Graph
+from repro.utils.numbertheory import is_prime_power
+
+__all__ = ["ERValidationReport", "validate_er_graph", "infer_q"]
+
+
+@dataclass(frozen=True)
+class ERValidationReport:
+    """Outcome of :func:`validate_er_graph`."""
+
+    ok: bool
+    q: Optional[int]
+    failures: Tuple[str, ...]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def infer_q(n: int) -> Optional[int]:
+    """The ``q`` with ``n = q^2 + q + 1``, if any (else None)."""
+    # q = (-1 + sqrt(4n - 3)) / 2
+    disc = 4 * n - 3
+    r = int(disc**0.5)
+    for cand in (r - 1, r, r + 1):
+        if cand >= 0 and cand * cand == disc:
+            q = (cand - 1) // 2
+            if q * q + q + 1 == n:
+                return q
+    return None
+
+
+def validate_er_graph(g: Graph, expected_q: Optional[int] = None) -> ERValidationReport:
+    """Check whether ``g`` has the exact ER_q structure the constructions
+    rely on. Self-loops are ignored (quadrics are identified by degree)."""
+    failures: List[str] = []
+
+    q = infer_q(g.n)
+    if q is None:
+        return ERValidationReport(False, None, (f"N={g.n} is not q^2+q+1 for any q",))
+    if expected_q is not None and q != expected_q:
+        failures.append(f"order implies q={q}, expected q={expected_q}")
+    if not is_prime_power(q):
+        failures.append(f"q={q} is not a prime power")
+
+    degrees = g.degree_sequence()
+    want = [q] * (q + 1) + [q + 1] * (q * q)
+    if degrees != want:
+        failures.append(
+            f"degree sequence mismatch: {q + 1} vertices of degree {q} and "
+            f"{q * q} of degree {q + 1} expected"
+        )
+
+    if g.num_edges != q * (q + 1) ** 2 // 2:
+        failures.append(
+            f"edge count {g.num_edges} != q(q+1)^2/2 = {q * (q + 1) ** 2 // 2}"
+        )
+
+    if failures:
+        return ERValidationReport(False, q, tuple(failures))
+
+    if not g.is_connected():
+        failures.append("graph is disconnected")
+    else:
+        # Theorem 6.1 characterization: every non-adjacent pair has exactly
+        # one common neighbor; every adjacent pair has at most one.
+        for u in range(g.n):
+            nu = g.neighbors(u)
+            for v in range(u + 1, g.n):
+                common = len(nu & g.neighbors(v))
+                if g.has_edge(u, v):
+                    if common > 1:
+                        failures.append(
+                            f"adjacent pair ({u}, {v}) has {common} common neighbors"
+                        )
+                        break
+                elif common != 1:
+                    failures.append(
+                        f"non-adjacent pair ({u}, {v}) has {common} common neighbors"
+                    )
+                    break
+            if failures:
+                break
+
+    return ERValidationReport(not failures, q, tuple(failures))

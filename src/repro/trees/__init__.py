@@ -1,0 +1,89 @@
+"""Spanning-tree constructions: the paper's two solutions plus baselines.
+
+- :func:`low_depth_trees` — Algorithm 3: ``q`` trees, depth <= 3,
+  congestion <= 2 (Section 7.1).
+- :func:`edge_disjoint_hamiltonian_trees` — ``floor((q+1)/2)``
+  edge-disjoint Hamiltonian-path trees (Sections 7.2-7.3).
+- :func:`single_tree` — the single-BFS-tree baseline of current systems.
+"""
+
+from repro.trees.disjoint import (
+    conflict_graph,
+    edge_disjoint_hamiltonian_trees,
+    hamiltonian_pair_graph,
+    max_disjoint_hamiltonian_pairs,
+    max_disjoint_upper_bound,
+    paper_random_search,
+    random_maximal_independent_set,
+)
+from repro.trees.hamiltonian import (
+    MaximalPathSummary,
+    all_maximal_path_summaries,
+    alternating_path,
+    alternating_path_closed_form,
+    count_hamiltonian_paths,
+    hamiltonian_pairs,
+    hamiltonian_path_tree,
+    is_hamiltonian_pair,
+    maximal_path_summary,
+    non_hamiltonian_pairs,
+    optimal_path_depth,
+    path_root,
+    path_vertex_count,
+)
+from repro.trees.greedy import greedy_tree, greedy_trees
+from repro.trees.lowdepth import low_depth_trees, low_depth_trees_from_layout
+from repro.trees.lowdepth_even import (
+    low_depth_trees_even,
+    low_depth_trees_even_from_layout,
+)
+from repro.trees.packing import pack_spanning_trees, spanning_tree_packing_number
+from repro.trees.random_trees import random_spanning_tree, random_spanning_trees
+from repro.trees.single import bfs_spanning_tree, single_tree
+from repro.trees.tree import (
+    SpanningTree,
+    are_edge_disjoint,
+    edge_congestion,
+    max_congestion,
+    total_tree_edges,
+)
+
+__all__ = [
+    "SpanningTree",
+    "edge_congestion",
+    "max_congestion",
+    "are_edge_disjoint",
+    "total_tree_edges",
+    "low_depth_trees",
+    "low_depth_trees_from_layout",
+    "low_depth_trees_even",
+    "low_depth_trees_even_from_layout",
+    "bfs_spanning_tree",
+    "single_tree",
+    "greedy_tree",
+    "greedy_trees",
+    "random_spanning_tree",
+    "random_spanning_trees",
+    "pack_spanning_trees",
+    "spanning_tree_packing_number",
+    "alternating_path",
+    "alternating_path_closed_form",
+    "path_vertex_count",
+    "is_hamiltonian_pair",
+    "hamiltonian_pairs",
+    "non_hamiltonian_pairs",
+    "maximal_path_summary",
+    "all_maximal_path_summaries",
+    "hamiltonian_path_tree",
+    "count_hamiltonian_paths",
+    "optimal_path_depth",
+    "path_root",
+    "MaximalPathSummary",
+    "conflict_graph",
+    "hamiltonian_pair_graph",
+    "max_disjoint_hamiltonian_pairs",
+    "max_disjoint_upper_bound",
+    "paper_random_search",
+    "random_maximal_independent_set",
+    "edge_disjoint_hamiltonian_trees",
+]

@@ -1,0 +1,222 @@
+"""Alternating-sum paths and Hamiltonian spanning trees on S_q (Section 7.2).
+
+An *alternating-sum path* ``(b_1, ..., b_k)`` uses exactly two edge-sum
+colors ``d_0, d_1`` from the Singer difference set, alternating: edge
+``(b_{i-1}, b_i)`` has sum ``d_0`` for even ``i`` and ``d_1`` for odd ``i``
+(Definition 7.11). The maximal non-repeating such path for a pair
+``(d_0, d_1)`` is unique (Theorem 7.13 / Corollary 7.14) and explicitly
+constructible (Corollary 7.15):
+
+- it starts at the reflection point ``b_1 = 2^{-1} d_1 mod N``,
+- ``b_i = d_0 - b_{i-1}`` for even ``i`` and ``d_1 - b_{i-1}`` for odd ``i``,
+- its vertex count is ``k = N / gcd(d_0 - d_1, N)``,
+- it is Hamiltonian iff ``gcd(d_0 - d_1, N) = 1``.
+
+Hamiltonian paths are spanning trees; rooted at their midpoint they have
+the optimal depth ``(N-1)/2`` (Lemma 7.17). Corollary 7.20 counts the
+alternating-sum Hamiltonian paths: exactly ``phi(N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.topology.singer import singer_difference_set
+from repro.trees.tree import SpanningTree
+from repro.utils.numbertheory import euler_totient, mod_inverse
+
+__all__ = [
+    "alternating_path",
+    "alternating_path_closed_form",
+    "path_vertex_count",
+    "is_hamiltonian_pair",
+    "hamiltonian_pairs",
+    "non_hamiltonian_pairs",
+    "maximal_path_summary",
+    "all_maximal_path_summaries",
+    "hamiltonian_path_tree",
+    "count_hamiltonian_paths",
+    "optimal_path_depth",
+    "path_root",
+    "MaximalPathSummary",
+]
+
+
+def _validate_pair(q: int, d0: int, d1: int) -> Tuple[int, Tuple[int, ...]]:
+    n = q * q + q + 1
+    dset = singer_difference_set(q)
+    if d0 not in dset or d1 not in dset:
+        raise ValueError(f"({d0}, {d1}) not in the difference set {dset} of S_{q}")
+    if d0 == d1:
+        raise ValueError("alternating sums must be distinct (Definition 7.11)")
+    return n, dset
+
+
+def path_vertex_count(n: int, d0: int, d1: int) -> int:
+    """``k = N / gcd(d_0 - d_1, N)`` — Theorem 7.13."""
+    return n // math.gcd(d0 - d1, n)
+
+
+def is_hamiltonian_pair(q: int, d0: int, d1: int) -> bool:
+    """Corollary 7.15(5): the maximal path is Hamiltonian iff
+    ``gcd(d_0 - d_1, N) = 1``."""
+    n, _ = _validate_pair(q, d0, d1)
+    return math.gcd(d0 - d1, n) == 1
+
+
+def alternating_path(q: int, d0: int, d1: int) -> Tuple[int, ...]:
+    """The unique maximal alternating-sum non-repeating path for
+    ``(d_0, d_1)`` on S_q, by the Corollary 7.15 recurrence."""
+    n, _ = _validate_pair(q, d0, d1)
+    k = path_vertex_count(n, d0, d1)
+    half = mod_inverse(2, n)
+    b = (half * d1) % n  # b_1 = 2^{-1} d_1, a reflection point
+    path = [b]
+    for i in range(2, k + 1):
+        b = (d0 - b) % n if i % 2 == 0 else (d1 - b) % n
+        path.append(b)
+    return tuple(path)
+
+
+def alternating_path_closed_form(q: int, d0: int, d1: int) -> Tuple[int, ...]:
+    """Same path via the Corollary 7.16 closed form (cross-check of the
+    recurrence).
+
+    Erratum: the paper's Corollary 7.16 swaps its parity cases (as printed,
+    its odd-``i`` formula gives ``b_1 = d_0 - b_1``, contradicting
+    Lemma 7.12). Unfolding the recurrence ``b_i = d_0 - b_{i-1}`` (even
+    ``i``) / ``d_1 - b_{i-1}`` (odd ``i``) from ``b_1 = 2^{-1} d_1`` gives
+
+    ``b_i = (i-1)/2 (d_1 - d_0) + b_1``          (odd ``i``)
+    ``b_i = i/2 d_0 - (i-2)/2 d_1 - b_1``        (even ``i``)
+
+    which is what we implement (and property-test against the recurrence).
+    """
+    n, _ = _validate_pair(q, d0, d1)
+    k = path_vertex_count(n, d0, d1)
+    half = mod_inverse(2, n)
+    b1 = (half * d1) % n
+    out = []
+    for i in range(1, k + 1):
+        if i % 2 == 1:
+            out.append(((i - 1) // 2 * (d1 - d0) + b1) % n)
+        else:
+            out.append((i // 2 * d0 - (i - 2) // 2 * d1 - b1) % n)
+    return tuple(out)
+
+
+def hamiltonian_pairs(q: int) -> List[Tuple[int, int]]:
+    """All unordered difference-set pairs whose maximal path is Hamiltonian."""
+    n = q * q + q + 1
+    dset = singer_difference_set(q)
+    return [
+        (d0, d1)
+        for i, d0 in enumerate(dset)
+        for d1 in dset[i + 1 :]
+        if math.gcd(d0 - d1, n) == 1
+    ]
+
+
+def non_hamiltonian_pairs(q: int) -> List[Tuple[int, int]]:
+    """All unordered pairs whose maximal path is NOT Hamiltonian (Table 2
+    lists these for q=4). Empty when ``N`` is prime."""
+    n = q * q + q + 1
+    dset = singer_difference_set(q)
+    return [
+        (d0, d1)
+        for i, d0 in enumerate(dset)
+        for d1 in dset[i + 1 :]
+        if math.gcd(d0 - d1, n) != 1
+    ]
+
+
+@dataclass(frozen=True)
+class MaximalPathSummary:
+    """One row of Table 2: a maximal alternating-sum path's parameters."""
+
+    d0: int
+    d1: int
+    gcd: int
+    k: int  # number of vertices
+    start: int  # b_1 = 2^{-1} d_1
+    end: int  # b_k = 2^{-1} d_0
+    hamiltonian: bool
+
+
+def maximal_path_summary(q: int, d0: int, d1: int) -> MaximalPathSummary:
+    """Summary (Lemma 7.12 endpoints + Theorem 7.13 length) of the maximal
+    path generated by the ordered pair ``(d_0, d_1)``."""
+    n, _ = _validate_pair(q, d0, d1)
+    g = math.gcd(d0 - d1, n)
+    half = mod_inverse(2, n)
+    return MaximalPathSummary(
+        d0=d0,
+        d1=d1,
+        gcd=g,
+        k=n // g,
+        start=(half * d1) % n,
+        end=(half * d0) % n,
+        hamiltonian=g == 1,
+    )
+
+
+def all_maximal_path_summaries(q: int, hamiltonian: Optional[bool] = None) -> List[MaximalPathSummary]:
+    """Summaries for all *unordered* pairs (reversals excluded, as in
+    Table 2); filter by Hamiltonicity with the ``hamiltonian`` flag."""
+    dset = singer_difference_set(q)
+    out = []
+    for i, d0 in enumerate(dset):
+        for d1 in dset[i + 1 :]:
+            s = maximal_path_summary(q, d0, d1)
+            if hamiltonian is None or s.hamiltonian == hamiltonian:
+                out.append(s)
+    return out
+
+
+def count_hamiltonian_paths(q: int) -> int:
+    """Corollary 7.20: # alternating-sum Hamiltonian paths = ``phi(N)``
+    (ordered pairs, i.e. counting a path and its reversal separately)."""
+    return euler_totient(q * q + q + 1)
+
+
+def optimal_path_depth(q: int) -> int:
+    """Lemma 7.17: depth of a midpoint-rooted Hamiltonian path tree,
+    ``(N - 1) / 2``."""
+    n = q * q + q + 1
+    return (n - 1) // 2
+
+
+def path_root(q: int, d0: int, d1: int) -> int:
+    """Lemma 7.17: the midpoint vertex ``b_{(N+1)/2}`` of the Hamiltonian
+    path for ``(d_0, d_1)`` — the optimal tree root.
+
+    Erratum: the paper's printed root formulas inherit the Corollary 7.16
+    parity swap (see :func:`alternating_path_closed_form`). Substituting
+    ``i = (N+1)/2`` into the corrected closed form (with
+    ``(N-1)/4 = -4^{-1}`` and ``(N+1)/4 = 4^{-1}`` mod ``N``) gives
+
+    ``b_root = 4^{-1} (d_0 - d_1) + b_1``        ((N+1)/2 odd)
+    ``b_root = 4^{-1} (d_0 + 3 d_1) - b_1``      ((N+1)/2 even)
+    """
+    n, _ = _validate_pair(q, d0, d1)
+    if math.gcd(d0 - d1, n) != 1:
+        raise ValueError(f"({d0}, {d1}) does not generate a Hamiltonian path on S_{q}")
+    half = mod_inverse(2, n)
+    quarter = mod_inverse(4, n)
+    b1 = (half * d1) % n
+    i = (n + 1) // 2  # midpoint position (1-indexed)
+    if i % 2 == 1:
+        return (quarter * (d0 - d1) + b1) % n
+    return (quarter * (d0 + 3 * d1) - b1) % n
+
+
+def hamiltonian_path_tree(q: int, d0: int, d1: int, tree_id: Optional[int] = None) -> SpanningTree:
+    """Midpoint-rooted spanning tree from the Hamiltonian path of
+    ``(d_0, d_1)`` (depth ``(N-1)/2``, Lemma 7.17)."""
+    n, _ = _validate_pair(q, d0, d1)
+    if math.gcd(d0 - d1, n) != 1:
+        raise ValueError(f"({d0}, {d1}) does not generate a Hamiltonian path on S_{q}")
+    path = alternating_path(q, d0, d1)
+    return SpanningTree.from_path(path, tree_id=tree_id)

@@ -1,0 +1,103 @@
+"""Low-latency Allreduce spanning trees — Algorithm 3 (Section 7.1).
+
+Given the Algorithm 2 layout with starter quadric ``w``, Algorithm 3 emits
+``q`` spanning trees ``T_0..T_{q-1}``, one rooted at each cluster center
+``v_i``:
+
+- level 1: all neighbors of ``v_i`` — the rest of cluster ``C_i``, the
+  starter ``w`` and the non-starter quadric ``w_i`` (Corollary 7.3);
+- level 2: neighbors of the level-1 vertices, *except* through ``w``
+  (line 6) — this covers all remaining quadrics and all non-center
+  vertices of the other clusters;
+- level 3: the other centers ``v_j``, attached through any still-available
+  edge from the shared pool ``E_a`` (lines 9–12).
+
+Guarantees (proved in the paper, asserted by our tests):
+- every ``T_i`` is a spanning tree (Theorem 7.4),
+- depth at most 3 (Theorem 7.5),
+- every physical link lies in at most 2 trees (Theorem 7.6), so the set
+  achieves aggregate bandwidth >= q*B/2 (Corollary 7.7),
+- on a link shared by two trees the two reduction flows run in opposite
+  directions (Lemma 7.8), so one input port never feeds two reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.topology.graph import canonical_edge
+from repro.topology.layout import PolarFlyLayout, polarfly_layout
+from repro.trees.tree import SpanningTree
+from repro.utils.errors import ConstructionError
+
+__all__ = ["low_depth_trees", "low_depth_trees_from_layout"]
+
+
+def low_depth_trees_from_layout(layout: PolarFlyLayout) -> List[SpanningTree]:
+    """Run Algorithm 3 on an existing layout; returns ``q`` spanning trees.
+
+    Deterministic: neighbor sets are visited in ascending order and the
+    ``E_a`` pool pops the smallest eligible edge.
+    """
+    pf = layout.pf
+    g = pf.graph
+    q = layout.q
+    starter = layout.starter
+
+    available: Set[Tuple[int, int]] = set(g.edges)  # E_a (line 1)
+    trees: List[SpanningTree] = []
+
+    for i in range(q):
+        root = layout.center_of(i)  # line 3
+        parent: Dict[int, int] = {}
+        in_tree = {root}
+
+        # Level 1 (lines 4-5): all neighbors of the root.
+        level1 = sorted(g.neighbors(root))
+        for u in level1:
+            parent[u] = root
+            in_tree.add(u)
+
+        # Level 2 (lines 6-8): expand level-1 vertices except the starter.
+        for u in level1:
+            if u == starter:
+                continue
+            for z in sorted(g.neighbors(u)):
+                if z not in in_tree:
+                    parent[z] = u
+                    in_tree.add(z)
+
+        # Level 3 (lines 9-12): attach the other centers via E_a.
+        for j in range(q):
+            if j == i:
+                continue
+            vj = layout.center_of(j)
+            if vj in in_tree:  # pragma: no cover - centers are never covered earlier
+                continue
+            candidates = sorted(
+                u for u in g.neighbors(vj)
+                if u in in_tree and canonical_edge(u, vj) in available
+            )
+            if not candidates:  # pragma: no cover - Theorem 7.4 rules this out
+                raise ConstructionError(
+                    f"E_a exhausted for center {vj} while building T_{i}"
+                )
+            u = candidates[0]
+            parent[vj] = u
+            in_tree.add(vj)
+            available.discard(canonical_edge(u, vj))  # line 12
+
+        tree = SpanningTree(root, parent, tree_id=i)
+        tree.validate(g)
+        trees.append(tree)
+
+    return trees
+
+
+def low_depth_trees(q: int, starter: Optional[int] = None) -> List[SpanningTree]:
+    """Algorithm 3 on ER_q: ``q`` spanning trees of depth <= 3, congestion <= 2.
+
+    ``q`` must be an odd prime power (the layout's regime); raises
+    :class:`UnsupportedRadixError` otherwise.
+    """
+    return low_depth_trees_from_layout(polarfly_layout(q, starter))

@@ -1,0 +1,58 @@
+"""Naive random multi-tree embeddings — the congestion ablation strawman.
+
+Section 1.2 warns that multiple spanning trees must be *carefully* embedded
+or overlapping links create bottlenecks that nullify the data-parallel
+speedup. To quantify that, this module produces what a naive system would:
+``k`` independent random spanning trees (randomized BFS from random roots),
+with no coordination between trees. The ablation benchmark (E-A4) runs
+Algorithm 1 on them and shows their aggregate bandwidth falls well short of
+the paper's constructions at equal tree count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["random_spanning_tree", "random_spanning_trees"]
+
+
+def random_spanning_tree(
+    g: Graph, rng: np.random.Generator, root: Optional[int] = None
+) -> SpanningTree:
+    """One spanning tree by BFS from a random root with shuffled neighbor
+    order (keeps depth low on a diameter-2 graph, as a real system would)."""
+    if root is None:
+        root = int(rng.integers(0, g.n))
+    parent = {}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        nbrs = list(g.neighbors(u))
+        rng.shuffle(nbrs)
+        for w in nbrs:
+            if w not in seen:
+                seen.add(w)
+                parent[w] = u
+                queue.append(w)
+    if len(seen) != g.n:
+        raise ValueError("graph is disconnected")
+    return SpanningTree(root, parent)
+
+
+def random_spanning_trees(g: Graph, k: int, seed: int = 0) -> List[SpanningTree]:
+    """``k`` independent random spanning trees (the naive embedding)."""
+    if k < 1:
+        raise ValueError("need at least one tree")
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(k):
+        t = random_spanning_tree(g, rng)
+        out.append(SpanningTree(t.root, t.parent, tree_id=i))
+    return out

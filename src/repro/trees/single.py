@@ -1,0 +1,45 @@
+"""Single spanning-tree baseline.
+
+Current in-network solutions (SHARP, PIUMA single-tree mode; Section 1.1)
+embed one Allreduce tree, capping bandwidth at a single link's ``B``. On a
+diameter-2 topology a BFS tree from any root has depth at most 2, so this
+baseline is latency-optimal but bandwidth-bound — the yardstick the
+multi-tree solutions of Section 7 are measured against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["bfs_spanning_tree", "single_tree"]
+
+
+def bfs_spanning_tree(g: Graph, root: int = 0, tree_id: Optional[int] = None) -> SpanningTree:
+    """Breadth-first spanning tree of ``g`` rooted at ``root``.
+
+    Deterministic: the frontier is explored in ascending vertex order, so
+    each vertex's parent is the smallest-indexed neighbor at the previous
+    level. Raises ``ValueError`` if ``g`` is disconnected.
+    """
+    parent: Dict[int, int] = {}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in sorted(g.neighbors(u)):
+            if w not in seen:
+                seen.add(w)
+                parent[w] = u
+                queue.append(w)
+    if len(seen) != g.n:
+        raise ValueError(f"graph is disconnected: BFS reached {len(seen)}/{g.n} vertices")
+    return SpanningTree(root, parent, tree_id=tree_id)
+
+
+def single_tree(g: Graph, root: int = 0) -> SpanningTree:
+    """The single-tree Allreduce embedding baseline (alias of BFS tree)."""
+    return bfs_spanning_tree(g, root, tree_id=0)

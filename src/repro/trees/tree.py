@@ -1,0 +1,206 @@
+"""Spanning-tree representation for in-network Allreduce embeddings.
+
+Section 4.3: Allreduce is computed by moving inputs up an embedded spanning
+tree (reduction traffic, child -> parent), then broadcasting the result
+down the same tree (broadcast traffic, parent -> child). The tree therefore
+carries its *root* and parent pointers, and the per-vertex depth directly
+gives the latency proxy the paper compares in Figure 5b.
+
+Congestion (Section 5.1): with trees defined over the physical topology
+there is no intra-tree congestion; inter-tree congestion on a link equals
+the number of trees containing that link. :func:`edge_congestion` and
+:func:`max_congestion` implement exactly that count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.topology.graph import Graph, canonical_edge
+from repro.utils.errors import ConstructionError
+
+Edge = Tuple[int, int]
+
+__all__ = [
+    "SpanningTree",
+    "edge_congestion",
+    "max_congestion",
+    "are_edge_disjoint",
+    "total_tree_edges",
+]
+
+
+class SpanningTree:
+    """A rooted tree embedded in a network graph.
+
+    Parameters
+    ----------
+    root:
+        The tree root (the Allreduce reduction sink / broadcast source).
+    parent:
+        Mapping ``vertex -> parent vertex`` for every non-root vertex.
+    tree_id:
+        Optional identifier (e.g. cluster index for Algorithm 3 trees).
+    """
+
+    __slots__ = ("root", "parent", "tree_id", "_depth_of", "_children", "_edges")
+
+    def __init__(self, root: int, parent: Mapping[int, int], tree_id: Optional[int] = None):
+        if root in parent:
+            raise ConstructionError(f"root {root} must not have a parent")
+        self.root = root
+        self.parent: Dict[int, int] = dict(parent)
+        self.tree_id = tree_id
+
+        children: Dict[int, List[int]] = {root: []}
+        for v in self.parent:
+            children.setdefault(v, [])
+        for v, p in self.parent.items():
+            if p not in children:
+                raise ConstructionError(f"parent {p} of {v} is not a tree vertex")
+            children[p].append(v)
+        for c in children.values():
+            c.sort()
+        self._children = children
+
+        # depth by walking from the root; also detects cycles/disconnection.
+        depth: Dict[int, int] = {root: 0}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for w in children[u]:
+                depth[w] = depth[u] + 1
+                stack.append(w)
+        if len(depth) != len(children):
+            unreached = set(children) - set(depth)
+            raise ConstructionError(
+                f"parent map contains a cycle or unreachable vertices: {sorted(unreached)[:5]}"
+            )
+        self._depth_of = depth
+        self._edges: FrozenSet[Edge] = frozenset(
+            canonical_edge(v, p) for v, p in self.parent.items()
+        )
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def vertices(self) -> FrozenSet[int]:
+        return frozenset(self._depth_of)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._depth_of)
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """Canonical undirected edge set (``num_vertices - 1`` edges)."""
+        return self._edges
+
+    def children(self, v: int) -> Tuple[int, ...]:
+        return tuple(self._children[v])
+
+    def depth_of(self, v: int) -> int:
+        """Distance of ``v`` from the root (Delta_i(v) in the paper)."""
+        return self._depth_of[v]
+
+    @property
+    def depth(self) -> int:
+        """Tree depth — the latency proxy of Figure 5b."""
+        return max(self._depth_of.values())
+
+    def leaves(self) -> Tuple[int, ...]:
+        return tuple(sorted(v for v, c in self._children.items() if not c))
+
+    def path_to_root(self, v: int) -> List[int]:
+        out = [v]
+        while out[-1] != self.root:
+            out.append(self.parent[out[-1]])
+        return out
+
+    # ----------------------------------------------------------- directions
+
+    def reduction_direction(self, u: int, v: int) -> Tuple[int, int]:
+        """Orient the tree edge ``{u, v}`` in the reduction-flow direction
+        (deeper -> shallower, i.e. child -> parent). Lemma 7.8 reasons about
+        these directions on links shared by two trees."""
+        if canonical_edge(u, v) not in self._edges:
+            raise ValueError(f"({u}, {v}) is not an edge of this tree")
+        return (u, v) if self._depth_of[u] > self._depth_of[v] else (v, u)
+
+    # ----------------------------------------------------------- validation
+
+    def is_spanning(self, g: Graph) -> bool:
+        """True iff the tree covers every vertex of ``g``."""
+        return self.num_vertices == g.n and set(self._depth_of) == set(range(g.n))
+
+    def uses_only_graph_edges(self, g: Graph) -> bool:
+        return all(g.has_edge(u, v) for u, v in self._edges)
+
+    def validate(self, g: Graph) -> None:
+        """Raise ``ConstructionError`` unless this is a spanning tree of ``g``.
+
+        Acyclicity/connectivity of the parent map is already enforced by the
+        constructor; this adds the graph-embedding checks of Section 4.4
+        (trees are defined over the physical topology itself).
+        """
+        if not self.is_spanning(g):
+            raise ConstructionError(
+                f"tree covers {self.num_vertices} of {g.n} vertices"
+            )
+        for u, v in self._edges:
+            if not g.has_edge(u, v):
+                raise ConstructionError(f"tree edge ({u}, {v}) is not a physical link")
+
+    # ----------------------------------------------------------------- misc
+
+    @classmethod
+    def from_path(cls, path: Sequence[int], root_index: Optional[int] = None,
+                  tree_id: Optional[int] = None) -> "SpanningTree":
+        """Build a tree from a simple path, rooted at ``path[root_index]``.
+
+        Lemma 7.17: rooting a Hamiltonian path at its midpoint minimizes the
+        depth at ``(N-1)/2``; ``root_index=None`` selects the midpoint
+        ``(len(path) - 1) // 2``.
+        """
+        if len(set(path)) != len(path):
+            raise ConstructionError("path repeats a vertex")
+        if not path:
+            raise ConstructionError("empty path")
+        if root_index is None:
+            root_index = (len(path) - 1) // 2
+        root = path[root_index]
+        parent: Dict[int, int] = {}
+        for i in range(root_index, 0, -1):
+            parent[path[i - 1]] = path[i]
+        for i in range(root_index, len(path) - 1):
+            parent[path[i + 1]] = path[i]
+        return cls(root, parent, tree_id=tree_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tid = f", id={self.tree_id}" if self.tree_id is not None else ""
+        return f"SpanningTree(root={self.root}, n={self.num_vertices}, depth={self.depth}{tid})"
+
+
+def edge_congestion(trees: Iterable[SpanningTree]) -> Dict[Edge, int]:
+    """Per-link congestion ``C(e)`` = number of trees containing ``e``
+    (Section 5.1)."""
+    cong: Dict[Edge, int] = {}
+    for t in trees:
+        for e in t.edges:
+            cong[e] = cong.get(e, 0) + 1
+    return cong
+
+
+def max_congestion(trees: Iterable[SpanningTree]) -> int:
+    """Worst-case link congestion — the number of VCs / tree states an
+    in-network router must provision (Section 5.1)."""
+    cong = edge_congestion(trees)
+    return max(cong.values()) if cong else 0
+
+
+def are_edge_disjoint(trees: Iterable[SpanningTree]) -> bool:
+    return max_congestion(trees) <= 1
+
+
+def total_tree_edges(trees: Iterable[SpanningTree]) -> int:
+    return sum(len(t.edges) for t in trees)

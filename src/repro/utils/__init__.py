@@ -1,0 +1,25 @@
+"""Shared utilities: exact number theory and validation helpers."""
+
+from repro.utils.numbertheory import (
+    coprime,
+    euler_totient,
+    factorize,
+    is_prime,
+    is_prime_power,
+    mod_inverse,
+    prime_factors,
+    prime_power_decomposition,
+    prime_powers_in_range,
+)
+
+__all__ = [
+    "coprime",
+    "euler_totient",
+    "factorize",
+    "is_prime",
+    "is_prime_power",
+    "mod_inverse",
+    "prime_factors",
+    "prime_power_decomposition",
+    "prime_powers_in_range",
+]

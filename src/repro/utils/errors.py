@@ -1,0 +1,19 @@
+"""Exception hierarchy for the repro library."""
+
+__all__ = ["ReproError", "UnsupportedRadixError", "ConstructionError"]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class UnsupportedRadixError(ReproError, ValueError):
+    """Raised when a construction is requested for a radix outside the
+    regime the paper derives it for (e.g. the cluster layout and the
+    low-depth trees of Section 7.1 are derived for odd prime powers only;
+    see Section 6.1.1)."""
+
+
+class ConstructionError(ReproError, RuntimeError):
+    """Raised when a construction's internal invariant fails — indicates a
+    bug or an unsupported input that slipped validation."""

@@ -1,0 +1,171 @@
+"""Tests for the table/figure regenerators (experiment ids E-T1..E-F5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    PAPER_PAIRS,
+    figure1_data,
+    figure2_data,
+    figure4_data,
+    figure5_data,
+    full_report,
+    render_figure1,
+    render_figure2,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    render_table2,
+    table1_data,
+    table2_data,
+    table2_matches_paper,
+)
+
+
+class TestTable1:
+    def test_all_rows_match_paper(self):
+        rows = table1_data([3, 5, 7, 9, 11, 13])
+        assert all(r.matches_paper for r in rows)
+
+    def test_render(self):
+        text = render_table1(table1_data([3, 5]))
+        assert "q=  3" in text and "FAIL" not in text
+
+
+class TestFigure1:
+    def test_paper_radix(self):
+        d = figure1_data(11)
+        assert d.properties_hold
+        assert len(d.quadric_cluster) == 12
+        assert len(d.centers) == 11
+        assert set(d.cluster_sizes) == {11}
+        assert set(d.edges_to_quadric_cluster) == {12}
+        assert set(d.inter_cluster_edges.values()) == {9}
+
+    def test_other_radixes(self):
+        for q in (3, 5, 7):
+            assert figure1_data(q).properties_hold
+
+    def test_render(self):
+        assert "FAIL" not in render_figure1(figure1_data(5))
+
+
+class TestFigure2:
+    @pytest.mark.parametrize("q", [3, 4])
+    def test_matches_paper(self, q):
+        d = figure2_data(q)
+        assert d.matches_paper and d.is_perfect
+
+    def test_table_complete(self):
+        d = figure2_data(4)
+        assert sorted(d.table.values()) == list(range(1, 21))
+
+    def test_other_radix_no_paper_reference(self):
+        d = figure2_data(5)
+        assert d.is_perfect and d.matches_paper  # trivially true when unlisted
+
+    def test_render_contains_grid(self):
+        text = render_figure2(figure2_data(3))
+        assert "FAIL" not in text
+        assert "D = {0, 1, 3, 9}" in text
+
+
+class TestFigure3:
+    @pytest.mark.parametrize("q", [3, 5, 7, 9])
+    def test_level_structure_matches_caption(self, q):
+        from repro.analysis import figure3_data
+
+        for i in range(min(q, 3)):
+            d = figure3_data(q, i)
+            assert d.matches_caption
+            assert len(d.levels[0]) == 1  # the root
+            # level 1 = cluster members + the two quadrics of Lemma 7.2
+            assert len(d.levels[1]) == q + 1
+
+    def test_render(self):
+        from repro.analysis import figure3_data, render_figure3
+
+        text = render_figure3(figure3_data(5))
+        assert "FAIL" not in text and "root" in text
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        assert table2_matches_paper(table2_data(4))
+
+    def test_render(self):
+        assert "FAIL" not in render_table2(table2_data(4))
+
+    def test_prime_n_gives_empty_table(self):
+        assert table2_data(3) == []
+
+
+class TestFigure4:
+    @pytest.mark.parametrize("q", [3, 4])
+    def test_paper_families(self, q):
+        d = figure4_data(q)
+        assert d.pairs == tuple(tuple(p) for p in PAPER_PAIRS[q])
+        assert d.edge_disjoint
+        assert d.num_paths == d.upper_bound == 2
+
+    def test_q3_uses_all_colors(self):
+        assert figure4_data(3).unused_colors == ()
+
+    def test_q4_leaves_color_16(self):
+        assert figure4_data(4).unused_colors == (16,)
+
+    def test_matching_fallback_for_other_q(self):
+        d = figure4_data(7)
+        assert d.num_paths == d.upper_bound == 4
+        assert d.edge_disjoint
+
+    def test_explicit_pairs(self):
+        d = figure4_data(3, pairs=[(0, 3), (1, 9)])
+        assert d.edge_disjoint
+
+    def test_render(self):
+        assert "FAIL" not in render_figure4(figure4_data(3))
+
+
+class TestFigure5:
+    def test_small_sweep_values(self):
+        rows = {r.q: r for r in figure5_data(3, 13, constructive_threshold=13)}
+        # Hamiltonian optimal at odd q, q/(q+1) at even q
+        for q, r in rows.items():
+            if q % 2 == 1:
+                assert r.hamiltonian_norm_bw == 1
+                assert r.lowdepth_norm_bw == Fraction(q, q + 1)
+                assert r.lowdepth_depth == 3
+                assert r.lowdepth_constructive
+            else:
+                assert r.hamiltonian_norm_bw == Fraction(q, q + 1)
+                assert r.lowdepth_norm_bw is None
+            assert r.hamiltonian_depth == (q * q + q) // 2
+            assert r.hamiltonian_trees == (q + 1) // 2
+
+    def test_formula_matches_construction_on_overlap(self):
+        # same q computed constructively and via the closed form must agree
+        low = {r.q: r for r in figure5_data(3, 19, constructive_threshold=19)}
+        high = {r.q: r for r in figure5_data(3, 19, constructive_threshold=2)}
+        for q in low:
+            assert low[q].lowdepth_norm_bw == high[q].lowdepth_norm_bw
+            assert low[q].lowdepth_depth == high[q].lowdepth_depth
+
+    def test_depth_series_shapes(self):
+        rows = figure5_data(3, 32)
+        ld = [r.lowdepth_depth for r in rows if r.lowdepth_depth is not None]
+        assert set(ld) <= {2, 3}
+        ham = [r.hamiltonian_depth for r in rows]
+        assert ham == sorted(ham)  # strictly growing (quadratic in q)
+
+    def test_render(self):
+        text = render_figure5(figure5_data(3, 16))
+        assert "OK" in text and "FAIL" not in text
+
+
+class TestFullReport:
+    def test_report_generates_without_failures(self):
+        text = full_report(q_hi=16, figure1_q=5)
+        assert "FAIL" not in text
+        assert "Table 1" in text and "Figure 5" in text

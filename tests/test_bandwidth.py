@@ -1,0 +1,220 @@
+"""Tests for Algorithm 1 / Theorem 5.1 (repro.core.bandwidth)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    aggregate_bandwidth,
+    allreduce_time,
+    bottleneck_trace,
+    optimal_bandwidth,
+    optimal_partition,
+    tree_bandwidths,
+)
+from repro.topology import Graph, polarfly_graph, singer_graph
+from repro.trees import (
+    SpanningTree,
+    edge_disjoint_hamiltonian_trees,
+    low_depth_trees,
+    single_tree,
+)
+
+
+def triangle():
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestAlgorithm1Handcrafted:
+    def test_single_tree_full_bandwidth(self):
+        g = triangle()
+        t = SpanningTree(0, {1: 0, 2: 0})
+        assert tree_bandwidths(g, [t]) == [Fraction(1)]
+
+    def test_two_identical_trees_split(self):
+        g = triangle()
+        t = SpanningTree(0, {1: 0, 2: 0})
+        assert tree_bandwidths(g, [t, t]) == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_disjoint_trees_full_bandwidth(self):
+        g = triangle()
+        t1 = SpanningTree(0, {1: 0, 2: 1})  # edges 01, 12
+        t2 = SpanningTree(1, {0: 2, 2: 1})  # edges 02, 12 -> overlap on 12!
+        # not disjoint: edge (1,2) congested
+        assert tree_bandwidths(g, [t1, t2]) == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_partial_overlap_iterative_refill(self):
+        # 4-cycle + chord: craft trees where one tree is frozen first and the
+        # other picks up the leftover bandwidth.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        t1 = SpanningTree(0, {1: 0, 2: 0, 3: 2})  # edges 01, 02, 23
+        t2 = SpanningTree(0, {1: 0, 2: 1, 3: 0})  # edges 01, 12, 03
+        t3 = SpanningTree(0, {1: 0, 2: 0, 3: 0})  # edges 01, 02, 03
+        bws = tree_bandwidths(g, [t1, t2, t3])
+        # edge 01 has congestion 3 -> all three frozen at 1/3
+        assert bws == [Fraction(1, 3)] * 3
+
+    def test_leftover_bandwidth_redistributed(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        t1 = SpanningTree(0, {1: 0, 2: 0})  # edges 01, 02
+        t2 = SpanningTree(0, {1: 0, 2: 1})  # edges 01, 12
+        t3 = SpanningTree(0, {2: 0, 1: 2})  # edges 02, 12
+        bws = tree_bandwidths(g, [t1, t2, t3])
+        # perfectly symmetric: every edge congestion 2 -> 1/2 each
+        assert bws == [Fraction(1, 2)] * 3
+
+    def test_custom_link_bandwidth(self):
+        g = triangle()
+        t = SpanningTree(0, {1: 0, 2: 0})
+        assert tree_bandwidths(g, [t, t], link_bandwidth=10) == [5, 5]
+        assert tree_bandwidths(g, [t], link_bandwidth=Fraction(3, 2)) == [Fraction(3, 2)]
+
+    def test_float_bandwidth_accepted(self):
+        g = triangle()
+        t = SpanningTree(0, {1: 0, 2: 0})
+        assert tree_bandwidths(g, [t], link_bandwidth=0.5) == [Fraction(1, 2)]
+
+    def test_invalid_bandwidth(self):
+        g = triangle()
+        t = SpanningTree(0, {1: 0, 2: 0})
+        with pytest.raises(ValueError):
+            tree_bandwidths(g, [t], link_bandwidth=0)
+
+    def test_tree_not_in_graph_rejected(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        t = SpanningTree(0, {1: 0, 2: 0})  # (0,2) missing
+        with pytest.raises(Exception):
+            tree_bandwidths(g, [t])
+
+    def test_empty_tree_set(self):
+        assert tree_bandwidths(triangle(), []) == []
+        assert aggregate_bandwidth(triangle(), []) == 0
+
+
+class TestOnPaperConstructions:
+    @pytest.mark.parametrize("q", [3, 5, 7, 9, 11])
+    def test_low_depth_aggregate(self, q):
+        g = polarfly_graph(q).graph
+        assert aggregate_bandwidth(g, low_depth_trees(q)) == Fraction(q, 2)
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9, 11, 13])
+    def test_edge_disjoint_aggregate_theorem_719(self, q):
+        g = singer_graph(q).graph
+        trees = edge_disjoint_hamiltonian_trees(q)
+        assert aggregate_bandwidth(g, trees) == Fraction((q + 1) // 2)
+
+    @pytest.mark.parametrize("q", [4, 8])
+    def test_edge_disjoint_even_q(self, q):
+        g = singer_graph(q).graph
+        trees = edge_disjoint_hamiltonian_trees(q)
+        assert aggregate_bandwidth(g, trees) == Fraction(q // 2)
+
+    @pytest.mark.parametrize("q", [3, 5, 7])
+    def test_single_tree_baseline(self, q):
+        g = polarfly_graph(q).graph
+        assert aggregate_bandwidth(g, [single_tree(g)]) == 1
+
+    def test_corollary_71_optimum(self):
+        assert optimal_bandwidth(7) == 4
+        assert optimal_bandwidth(11) == 6
+        assert optimal_bandwidth(3, link_bandwidth=10) == 20
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9])
+    def test_nothing_beats_the_optimum(self, q):
+        g = singer_graph(q).graph
+        trees = edge_disjoint_hamiltonian_trees(q)
+        assert aggregate_bandwidth(g, trees) <= optimal_bandwidth(q)
+
+
+class TestBottleneckTrace:
+    def test_trace_structure(self):
+        g = polarfly_graph(3).graph
+        trees = low_depth_trees(3)
+        trace = bottleneck_trace(g, trees)
+        frozen = [i for _, _, ids in trace for i in ids]
+        assert sorted(frozen) == list(range(len(trees)))
+        for _, share, _ in trace:
+            assert share == Fraction(1, 2)
+
+    def test_trace_consistent_with_bandwidths(self):
+        g = polarfly_graph(5).graph
+        trees = low_depth_trees(5)
+        bws = tree_bandwidths(g, trees)
+        trace = bottleneck_trace(g, trees)
+        from_trace = {}
+        for _, share, ids in trace:
+            for i in ids:
+                from_trace[i] = share
+        assert [from_trace[i] for i in range(len(trees))] == bws
+
+
+class TestPartition:
+    def test_equation_2_exact(self):
+        parts = optimal_partition(100, [Fraction(1, 2), Fraction(1, 2)])
+        assert parts == [50, 50]
+
+    def test_proportionality(self):
+        parts = optimal_partition(90, [1, 2])
+        assert parts == [30, 60]
+
+    def test_rounding_preserves_total(self):
+        parts = optimal_partition(10, [1, 1, 1])
+        assert sum(parts) == 10
+        assert max(parts) - min(parts) <= 1
+
+    def test_zero_bandwidth_tree(self):
+        parts = optimal_partition(10, [1, 0])
+        assert parts == [10, 0]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            optimal_partition(-1, [1])
+        with pytest.raises(ValueError):
+            optimal_partition(10, [0, 0])
+        with pytest.raises(ValueError):
+            optimal_partition(10, [-1, 2])
+
+    @given(
+        st.integers(min_value=0, max_value=10000),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_partition_properties(self, m, bws):
+        if sum(bws) == 0:
+            return
+        parts = optimal_partition(m, bws)
+        assert sum(parts) == m
+        assert all(p >= 0 for p in parts)
+        for p, b in zip(parts, bws):
+            if b == 0:
+                assert p == 0
+            else:
+                # within 1 of the exact proportional share
+                exact = Fraction(m) * b / sum(bws)
+                assert abs(Fraction(p) - exact) < 1
+
+
+class TestAllreduceTime:
+    def test_equation_3(self):
+        # with the optimal partition, time = L + m / sum(B_i)
+        bws = [Fraction(1, 2)] * 4
+        t = allreduce_time(100, bws, latency=3)
+        assert t == 3 + Fraction(100, 2)
+
+    def test_unbalanced_partition_is_worse(self):
+        bws = [1, 1]
+        opt = allreduce_time(100, bws)
+        bad = allreduce_time(100, bws, partition=[90, 10])
+        assert bad > opt
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            allreduce_time(10, [1, 1], partition=[10])
+        with pytest.raises(ValueError):
+            allreduce_time(10, [1, 0], partition=[5, 5])
+
+    def test_zero_part_contributes_latency_only(self):
+        t = allreduce_time(10, [1, 1], latency=2, partition=[10, 0])
+        assert t == 12

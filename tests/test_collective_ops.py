@@ -1,0 +1,101 @@
+"""Tests for the high-level InNetworkCollectives API."""
+
+import numpy as np
+import pytest
+
+from repro.core import InNetworkCollectives, build_plan
+
+
+@pytest.fixture(params=["low-depth", "edge-disjoint", "single"])
+def coll(request):
+    return InNetworkCollectives(build_plan(5, request.param))
+
+
+class TestReduceScatter:
+    def test_slices_tile_the_vector(self, coll):
+        x = np.ones((coll.num_nodes, 40))
+        slices = coll.reduce_scatter(x)
+        covered = sorted((s.start, s.stop) for s in slices)
+        pos = 0
+        for a, b in covered:
+            assert a == pos
+            pos = b
+        assert pos == 40
+
+    def test_values_are_reduced(self, coll):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 9, size=(coll.num_nodes, 17))
+        want = x.sum(axis=0)
+        for s in coll.reduce_scatter(x):
+            assert np.array_equal(s.values, want[s.start : s.stop])
+
+    def test_roots_are_tree_roots(self, coll):
+        x = np.ones((coll.num_nodes, coll.plan.num_trees * 3))
+        for s in coll.reduce_scatter(x):
+            assert s.root == coll.plan.trees[s.tree_index].root
+
+    def test_ops(self, coll):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-10, 10, size=(coll.num_nodes, 9))
+        got = {}
+        for op, npop in (("max", np.max), ("min", np.min)):
+            slices = coll.reduce_scatter(x, op)
+            full = np.empty(9, dtype=x.dtype)
+            for s in slices:
+                full[s.start : s.stop] = s.values
+            assert np.array_equal(full, npop(x, axis=0))
+
+
+class TestBroadcast:
+    def test_roundtrip(self, coll):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 5, size=(coll.num_nodes, 23))
+        slices = coll.reduce_scatter(x)
+        out = coll.broadcast(slices, 23)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+    def test_gap_detected(self, coll):
+        x = np.ones((coll.num_nodes, 10))
+        slices = coll.reduce_scatter(x)
+        with pytest.raises(ValueError):
+            coll.broadcast(slices[1:], 10)
+
+    def test_wrong_m_detected(self, coll):
+        x = np.ones((coll.num_nodes, 10))
+        slices = coll.reduce_scatter(x)
+        with pytest.raises(ValueError):
+            coll.broadcast(slices, 11)
+
+
+class TestAllreduce:
+    def test_matches_execute_plan(self, coll):
+        from repro.simulator import execute_plan
+
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 100, size=(coll.num_nodes, 31))
+        assert np.array_equal(coll.allreduce(x), execute_plan(coll.plan, x))
+
+    def test_empty_vector(self, coll):
+        x = np.ones((coll.num_nodes, 0))
+        assert coll.allreduce(x).shape == (coll.num_nodes, 0)
+
+    def test_bad_shape(self, coll):
+        with pytest.raises(ValueError):
+            coll.allreduce(np.ones((3, 3)))
+
+
+class TestChunked:
+    def test_matches_unchunked(self, coll):
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 9, size=(coll.num_nodes, 53))
+        for chunk in (1, 7, 53, 100):
+            assert np.array_equal(coll.allreduce_chunked(x, chunk), coll.allreduce(x))
+
+    def test_invalid_chunk(self, coll):
+        with pytest.raises(ValueError):
+            coll.allreduce_chunked(np.ones((coll.num_nodes, 4)), 0)
+
+
+class TestBarrier:
+    def test_barrier(self, coll):
+        assert coll.barrier() is True

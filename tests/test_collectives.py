@@ -1,0 +1,203 @@
+"""Tests for the host-based Allreduce baselines and cost models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CostModel,
+    Transcript,
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+    ring_allreduce,
+    ring_chunks,
+    transcript_cost,
+    transcript_link_loads,
+)
+from repro.topology import polarfly_graph
+
+ALGOS = [
+    ("ring", ring_allreduce),
+    ("recursive-doubling", recursive_doubling_allreduce),
+    ("rabenseifner", rabenseifner_allreduce),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 13, 21, 31])
+    def test_sum_allreduce(self, name, fn, p):
+        rng = np.random.default_rng(p)
+        x = rng.integers(-100, 100, size=(p, 23))
+        out = fn(x)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_max_op(self, name, fn):
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 1000, size=(13, 8))
+        out = fn(x, op=np.maximum)
+        assert np.array_equal(out, np.broadcast_to(x.max(axis=0), out.shape))
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_polarfly_sized(self, name, fn):
+        # P = N = q^2 + q + 1 for q = 7 -> 57 nodes, not a power of two
+        p = 57
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((p, 11))
+        out = fn(x)
+        np.testing.assert_allclose(out, np.broadcast_to(x.sum(axis=0), out.shape),
+                                   rtol=1e-9)
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_inputs_not_mutated(self, name, fn):
+        x = np.ones((5, 4))
+        before = x.copy()
+        fn(x)
+        assert np.array_equal(x, before)
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_bad_shape(self, name, fn):
+        with pytest.raises(ValueError):
+            fn(np.ones(5))
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    @given(p=st.integers(min_value=1, max_value=33), m=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_arbitrary_sizes(self, name, fn, p, m):
+        rng = np.random.default_rng(p * 100 + m)
+        x = rng.integers(-5, 5, size=(p, m))
+        out = fn(x)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+
+class TestRingChunks:
+    def test_partition(self):
+        bounds = ring_chunks(4, 10)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_all_elements_covered(self):
+        for p, m in [(3, 0), (5, 4), (7, 100)]:
+            bounds = ring_chunks(p, m)
+            assert bounds[0][0] == 0 and bounds[-1][1] == m
+            for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                assert b == c and b >= a
+
+
+class TestTranscripts:
+    def test_ring_round_and_volume_counts(self):
+        p, m = 7, 70
+        tr = Transcript("ring", p, m)
+        ring_allreduce(np.ones((p, m)), tr)
+        assert tr.num_rounds == 2 * (p - 1)
+        # 2 (P-1)/P m per node -> times P nodes total
+        assert tr.total_volume == 2 * (p - 1) * m
+
+    def test_recursive_doubling_rounds(self):
+        p, m = 16, 8
+        tr = Transcript("rd", p, m)
+        recursive_doubling_allreduce(np.ones((p, m)), tr)
+        assert tr.num_rounds == 4  # log2(16)
+        assert tr.max_message() == m
+
+    def test_recursive_doubling_nonpow2_extra_rounds(self):
+        p, m = 13, 8
+        tr = Transcript("rd", p, m)
+        recursive_doubling_allreduce(np.ones((p, m)), tr)
+        assert tr.num_rounds == 3 + 2  # log2(8) + fold + unfold
+
+    def test_rabenseifner_volume_less_than_rd(self):
+        p, m = 16, 64
+        tr_rab = Transcript("rab", p, m)
+        rabenseifner_allreduce(np.ones((p, m)), tr_rab)
+        tr_rd = Transcript("rd", p, m)
+        recursive_doubling_allreduce(np.ones((p, m)), tr_rd)
+        assert tr_rab.total_volume < tr_rd.total_volume
+
+    def test_send_filters_self_and_empty(self):
+        tr = Transcript("x", 2, 4)
+        tr.begin_round()
+        tr.send(0, 0, 5)
+        tr.send(0, 1, 0)
+        assert tr.rounds == [[]]
+
+
+class TestTrafficAccounting:
+    def test_link_loads_on_polarfly(self):
+        pf = polarfly_graph(3)
+        tr = Transcript("ring", pf.n, pf.n)
+        ring_allreduce(np.ones((pf.n, pf.n)), tr)
+        loads = transcript_link_loads(pf.graph, tr)
+        assert len(loads) == len(tr.rounds)
+        assert all(load for load in loads)
+
+    def test_ring_congestion_on_polarfly(self):
+        # ring neighbors are often 2 hops apart -> some link carries >1 msg
+        pf = polarfly_graph(5)
+        m = pf.n
+        tr = Transcript("ring", pf.n, m)
+        ring_allreduce(np.ones((pf.n, m)), tr)
+        loads = transcript_link_loads(pf.graph, tr)
+        assert any(max(load.values()) > 1 for load in loads if load)
+
+    def test_transcript_cost_positive_and_ordered(self):
+        pf = polarfly_graph(3)
+        model = CostModel(alpha=1.0, beta=0.1)
+        costs = {}
+        for name, fn in ALGOS:
+            tr = Transcript(name, pf.n, 13)
+            fn(np.ones((pf.n, 13)), tr)
+            costs[name] = transcript_cost(pf.graph, tr, model)
+        assert all(c > 0 for c in costs.values())
+        # ring has by far the most rounds -> highest latency cost at small m
+        assert costs["ring"] > costs["recursive-doubling"]
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.cm = CostModel(alpha=10.0, beta=1.0, gamma=0.0)
+
+    def test_closed_forms(self):
+        p, m = 16, 1600
+        assert self.cm.ring(p, m) == pytest.approx(2 * 15 * 10 + 2 * 15 / 16 * 1600)
+        assert self.cm.recursive_doubling(p, m) == pytest.approx(4 * (10 + 1600))
+        assert self.cm.rabenseifner(p, m) == pytest.approx(
+            2 * 4 * 10 + 2 * 15 / 16 * 1600
+        )
+
+    def test_single_process_free(self):
+        for f in (self.cm.ring, self.cm.recursive_doubling, self.cm.rabenseifner):
+            assert f(1, 100) == 0.0
+
+    def test_nonpow2_penalty(self):
+        assert self.cm.recursive_doubling(13, 100) > self.cm.recursive_doubling(8, 100)
+
+    def test_in_network_tree(self):
+        # depth-3 trees at aggregate bandwidth q/2
+        t = self.cm.in_network_tree(1000, aggregate_bandwidth=5.5, depth=3)
+        assert t == pytest.approx(2 * 3 * 10 + 1000 / 5.5)
+
+    def test_in_network_beats_host_at_scale(self):
+        p, m, q = 133, 10**7, 11
+        host_best = min(self.cm.ring(p, m), self.cm.rabenseifner(p, m))
+        innet = self.cm.in_network_tree(m, aggregate_bandwidth=q / 2, depth=3)
+        assert innet < host_best
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.cm.ring(0, 5)
+        with pytest.raises(ValueError):
+            self.cm.ring(4, -1)
+        with pytest.raises(ValueError):
+            self.cm.in_network_tree(10, aggregate_bandwidth=0, depth=3)
+        with pytest.raises(ValueError):
+            self.cm.in_network_tree(10, aggregate_bandwidth=1, depth=-1)
+        with pytest.raises(ValueError):
+            self.cm.in_network_tree(-1, aggregate_bandwidth=1, depth=1)
+
+    def test_gamma_term(self):
+        cm = CostModel(alpha=0, beta=0, gamma=2.0)
+        assert cm.ring(4, 8) == pytest.approx(3 / 4 * 8 * 2.0)

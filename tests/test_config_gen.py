@@ -1,0 +1,109 @@
+"""Tests for router/fabric configuration generation and VC assignment."""
+
+import json
+
+import pytest
+
+from repro.core import build_plan
+from repro.simulator.config_gen import (
+    assign_virtual_channels,
+    generate_fabric_config,
+)
+from repro.trees import edge_congestion
+
+
+@pytest.fixture(params=["low-depth", "edge-disjoint", "single"])
+def plan(request):
+    return build_plan(5, request.param)
+
+
+class TestVCAssignment:
+    def test_distinct_vcs_per_link(self, plan):
+        vcs = assign_virtual_channels(plan.trees)
+        per_link = {}
+        for (e, tid), vc in vcs.table.items():
+            per_link.setdefault(e, []).append(vc)
+        for e, ids in per_link.items():
+            assert len(set(ids)) == len(ids), f"VC collision on {e}"
+
+    def test_vc_count_equals_congestion(self, plan):
+        vcs = assign_virtual_channels(plan.trees)
+        cong = edge_congestion(plan.trees)
+        assert vcs.vcs_per_plane == max(cong.values())
+
+    def test_lowdepth_needs_two_vcs(self):
+        plan = build_plan(7, "low-depth")
+        assert assign_virtual_channels(plan.trees).vcs_per_plane == 2
+
+    def test_edge_disjoint_needs_one_vc(self):
+        plan = build_plan(7, "edge-disjoint")
+        assert assign_virtual_channels(plan.trees).vcs_per_plane == 1
+
+    def test_vc_of_accessor(self, plan):
+        vcs = assign_virtual_channels(plan.trees)
+        t = plan.trees[0]
+        v, p = next(iter(t.parent.items()))
+        tid = t.tree_id if t.tree_id is not None else 0
+        assert vcs.vc_of(v, p, tid) == vcs.vc_of(p, v, tid)
+        with pytest.raises(KeyError):
+            vcs.vc_of(v, p, 999)
+
+    def test_empty(self):
+        assert assign_virtual_channels([]).vcs_per_plane == 0
+
+
+class TestFabricConfig:
+    def test_structure(self, plan):
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        assert cfg.num_routers == plan.num_nodes
+        assert cfg.num_trees == plan.num_trees
+        assert len(cfg.routers) == plan.num_nodes
+        for r in cfg.routers:
+            assert len(r.trees) == plan.num_trees
+
+    def test_roles(self, plan):
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        for idx, t in enumerate(plan.trees):
+            tid = t.tree_id if t.tree_id is not None else idx
+            roots = [r for r in cfg.routers
+                     if any(e.tree_id == tid and e.role == "root" for e in r.trees)]
+            assert [r.node for r in roots] == [t.root]
+
+    def test_engine_usage_matches_children(self, plan):
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        for r in cfg.routers:
+            for e in r.trees:
+                tree = next(
+                    t for i, t in enumerate(plan.trees)
+                    if (t.tree_id if t.tree_id is not None else i) == e.tree_id
+                )
+                assert e.uses_reduction_engine == bool(tree.children(r.node))
+
+    def test_ports_are_links(self, plan):
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        for r in cfg.routers:
+            assert set(r.ports) == plan.topology.neighbors(r.node)
+
+    def test_parent_child_vc_consistency(self, plan):
+        # the VC a child uses toward its parent equals the VC the parent
+        # lists for that child link
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        by_node = {r.node: r for r in cfg.routers}
+        for idx, t in enumerate(plan.trees):
+            tid = t.tree_id if t.tree_id is not None else idx
+            for v, p in t.parent.items():
+                child_entry = next(e for e in by_node[v].trees if e.tree_id == tid)
+                parent_entry = next(e for e in by_node[p].trees if e.tree_id == tid)
+                k = parent_entry.child_ports.index(v)
+                assert child_entry.parent_vc == parent_entry.child_vcs[k]
+
+    def test_json_round_trip(self, plan):
+        cfg = generate_fabric_config(plan.topology, plan.trees)
+        doc = json.loads(cfg.to_json())
+        assert doc["num_routers"] == plan.num_nodes
+        assert doc["vcs_per_plane"] == plan.max_congestion
+        assert doc["planes"] == ["reduce", "broadcast"]
+        assert len(doc["routers"]) == plan.num_nodes
+        sample = doc["routers"][0]["trees"][0]
+        assert {"tree_id", "role", "parent_port", "parent_vc",
+                "child_ports", "child_vcs", "uses_reduction_engine"} <= set(sample)

@@ -1,0 +1,77 @@
+"""Tests for the scheme-crossover analysis (Section 7.3 trade-off)."""
+
+import pytest
+
+from repro.analysis import crossover_sweep, render_crossover, winning_regions
+from repro.collectives import CostModel
+
+
+class TestCrossoverSweep:
+    def test_all_schemes_present(self):
+        pts = crossover_sweep(11, exponents=[10, 20])
+        names = set(pts[0].times)
+        assert {"single-tree", "low-depth", "edge-disjoint", "ring",
+                "recursive-doubling", "rabenseifner"} == names
+
+    def test_even_q_uses_extension_scheme(self):
+        pts = crossover_sweep(8, exponents=[10])
+        assert "low-depth-even" in pts[0].times
+        assert "low-depth" not in pts[0].times
+
+    def test_host_excluded_on_request(self):
+        pts = crossover_sweep(5, exponents=[10], include_host=False)
+        assert "ring" not in pts[0].times
+
+    def test_times_positive_and_monotone_in_m(self):
+        pts = crossover_sweep(7, exponents=[8, 12, 16, 20])
+        for name in pts[0].times:
+            series = [p.times[name] for p in pts]
+            assert all(t > 0 for t in series)
+            assert series == sorted(series)
+
+    def test_shape_of_winners(self):
+        # tiny m: never the edge-disjoint (fill-bound); huge m: always it
+        pts = crossover_sweep(11, exponents=list(range(4, 31, 2)))
+        assert pts[0].winner != "edge-disjoint"
+        assert pts[-1].winner == "edge-disjoint"
+        # in-network multi-tree beats every host algorithm at large m
+        big = pts[-1].times
+        innet = min(big["low-depth"], big["edge-disjoint"])
+        host = min(big["ring"], big["recursive-doubling"], big["rabenseifner"])
+        assert innet < host
+
+    def test_custom_model_changes_crossover(self):
+        cheap_latency = crossover_sweep(
+            11, model=CostModel(alpha=1.0, beta=1.0), exponents=[14]
+        )[0]
+        dear_latency = crossover_sweep(
+            11, model=CostModel(alpha=100000.0, beta=1.0), exponents=[14]
+        )[0]
+        # with negligible alpha the deep trees win earlier
+        assert cheap_latency.times["edge-disjoint"] < cheap_latency.times["low-depth"]
+        assert dear_latency.times["edge-disjoint"] > dear_latency.times["low-depth"]
+
+
+class TestRegions:
+    def test_regions_cover_sweep(self):
+        pts = crossover_sweep(11, exponents=list(range(4, 29, 2)))
+        regions = winning_regions(pts)
+        assert regions[0][1] == pts[0].m
+        assert regions[-1][2] == pts[-1].m
+        # contiguity
+        for (_, _, hi), (_, lo, _) in zip(regions, regions[1:]):
+            assert hi < lo
+
+    def test_single_region_when_one_scheme_dominates(self):
+        pts = crossover_sweep(11, exponents=[28, 30], include_host=False)
+        regions = winning_regions(pts)
+        assert len(regions) == 1
+        assert regions[0][0] == "edge-disjoint"
+
+
+class TestRender:
+    def test_render_contains_regions(self):
+        pts = crossover_sweep(5, exponents=[8, 20])
+        text = render_crossover(5, pts)
+        assert "regions:" in text
+        assert "winner" in text

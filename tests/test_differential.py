@@ -1,0 +1,92 @@
+"""Differential testing: four independent execution engines must agree.
+
+The library has four ways to execute the same multi-tree Allreduce:
+
+1. the functional executor (global buffers, level-order accumulation),
+2. the collectives API (reduce-scatter + broadcast phases),
+3. the packet-level simulator (payloads through router engines, with
+   cycle-accurate arbitration),
+4. the SPMD runtime (per-rank generator programs, blocking messages).
+
+They share no execution code beyond the tree structures, so exact
+agreement on random workloads is a strong whole-stack check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InNetworkCollectives, build_plan
+from repro.runtime import tree_allreduce_spmd
+from repro.simulator import execute_plan, packet_allreduce, simulate_allreduce
+
+PLANS = {
+    (q, scheme): build_plan(q, scheme)
+    for q in (3, 4, 5)
+    for scheme in ("low-depth", "low-depth-even", "edge-disjoint", "single")
+    if not (scheme == "low-depth" and q % 2 == 0)
+    and not (scheme == "low-depth-even" and q % 2 == 1)
+}
+
+
+@given(
+    key=st.sampled_from(sorted(PLANS)),
+    m=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=1000),
+    op=st.sampled_from(["sum", "max"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_four_engines_agree(key, m, seed, op):
+    plan = PLANS[key]
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-100, 100, size=(plan.num_nodes, m))
+    npop = np.add if op == "sum" else np.maximum
+
+    a = execute_plan(plan, x, op)
+    b = InNetworkCollectives(plan).allreduce(x, op)
+    c, _ = packet_allreduce(
+        plan.topology, plan.trees, x, partition=plan.partition(m), op=op
+    )
+    d = tree_allreduce_spmd(plan, x, op=npop)
+
+    want = np.broadcast_to(
+        x.sum(axis=0) if op == "sum" else x.max(axis=0), a.shape
+    )
+    assert np.array_equal(a, want)
+    assert np.array_equal(b, want)
+    assert np.array_equal(c, want)
+    assert np.array_equal(d, want)
+
+
+@given(
+    key=st.sampled_from(sorted(PLANS)),
+    m=st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=12, deadline=None)
+def test_packet_and_cycle_simulators_agree_on_timing(key, m):
+    plan = PLANS[key]
+    parts = plan.partition(m)
+    x = np.ones((plan.num_nodes, m))
+    _, pstats = packet_allreduce(plan.topology, plan.trees, x, partition=parts)
+    cstats = simulate_allreduce(plan.topology, plan.trees, parts)
+    assert pstats.cycles == cstats.cycles
+    assert pstats.flits_moved == cstats.flits_moved
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=10, deadline=None)
+def test_float_engine_agreement(seed):
+    # the functional executor and the SPMD runtime combine children in the
+    # same (sorted) order -> bitwise identical floats; the packet simulator
+    # folds contributions in ARRIVAL order (arbitration-dependent), so it
+    # agrees only up to floating-point association
+    plan = PLANS[(5, "edge-disjoint")]
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((plan.num_nodes, 12))
+    a = execute_plan(plan, x)
+    d = tree_allreduce_spmd(plan, x)
+    c, _ = packet_allreduce(plan.topology, plan.trees, x,
+                            partition=plan.partition(12))
+    assert np.array_equal(a, d)
+    np.testing.assert_allclose(c, a, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,159 @@
+"""Tests for Section 7.2-7.3: maximum edge-disjoint Hamiltonian path sets."""
+
+import numpy as np
+import pytest
+
+from repro.topology import singer_graph
+from repro.trees import (
+    are_edge_disjoint,
+    conflict_graph,
+    edge_disjoint_hamiltonian_trees,
+    hamiltonian_pair_graph,
+    hamiltonian_pairs,
+    max_disjoint_hamiltonian_pairs,
+    max_disjoint_upper_bound,
+    paper_random_search,
+    random_maximal_independent_set,
+)
+from repro.utils import prime_powers_in_range
+
+QS = [3, 4, 5, 7, 8, 9, 11, 13, 16]
+
+
+class TestUpperBound:
+    def test_lemma_718(self):
+        assert max_disjoint_upper_bound(3) == 2
+        assert max_disjoint_upper_bound(4) == 2
+        assert max_disjoint_upper_bound(5) == 3
+        assert max_disjoint_upper_bound(11) == 6
+
+    @pytest.mark.parametrize("q", QS)
+    def test_edge_counting_argument(self, q):
+        # floor((q+1)/2) Hamiltonian paths consume <= all edges
+        sg = singer_graph(q)
+        bound = max_disjoint_upper_bound(q)
+        path_edges = sg.n - 1
+        assert bound * path_edges <= sg.graph.num_edges
+
+
+class TestExactMatching:
+    @pytest.mark.parametrize("q", QS)
+    def test_bound_achieved(self, q):
+        pairs = max_disjoint_hamiltonian_pairs(q)
+        assert len(pairs) == max_disjoint_upper_bound(q)
+
+    @pytest.mark.parametrize("q", prime_powers_in_range(17, 49))
+    def test_bound_achieved_larger(self, q):
+        assert len(max_disjoint_hamiltonian_pairs(q)) == max_disjoint_upper_bound(q)
+
+    @pytest.mark.parametrize("q", QS)
+    def test_pairs_element_disjoint_and_hamiltonian(self, q):
+        pairs = max_disjoint_hamiltonian_pairs(q)
+        ham = set(hamiltonian_pairs(q))
+        used = set()
+        for d0, d1 in pairs:
+            assert (d0, d1) in ham or (d1, d0) in ham
+            assert d0 not in used and d1 not in used
+            used.update((d0, d1))
+
+
+class TestGraphFormulations:
+    def test_pair_graph_structure(self):
+        g = hamiltonian_pair_graph(4)
+        assert set(g.nodes) == {0, 1, 4, 14, 16}
+        assert g.number_of_edges() == len(hamiltonian_pairs(4))
+
+    def test_conflict_graph_structure(self):
+        gs = conflict_graph(4)
+        pairs = hamiltonian_pairs(4)
+        assert set(gs.nodes) == set(pairs)
+        for a, b in gs.edges:
+            assert set(a) & set(b)
+
+    def test_independent_set_equals_matching(self):
+        # an independent set in G_S is a matching in H(D): verify the exact
+        # solution is independent in G_S
+        gs = conflict_graph(5)
+        sol = set(max_disjoint_hamiltonian_pairs(5))
+        for a in sol:
+            for b in sol:
+                if a != b:
+                    assert not gs.has_edge(a, b)
+
+
+class TestPaperRandomSearch:
+    @pytest.mark.parametrize("q", QS)
+    def test_random_mis_is_valid(self, q):
+        rng = np.random.default_rng(42)
+        fam = random_maximal_independent_set(q, rng)
+        used = set()
+        ham = set(hamiltonian_pairs(q))
+        for d0, d1 in fam:
+            assert (d0, d1) in ham
+            assert d0 not in used and d1 not in used
+            used.update((d0, d1))
+
+    def test_random_mis_is_maximal(self):
+        rng = np.random.default_rng(7)
+        fam = random_maximal_independent_set(9, rng)
+        used = {d for p in fam for d in p}
+        # no remaining Hamiltonian pair can be added
+        for d0, d1 in hamiltonian_pairs(9):
+            assert d0 in used or d1 in used
+
+    @pytest.mark.parametrize("q", QS)
+    def test_paper_procedure_reaches_bound_within_30(self, q):
+        # Section 7.3: 30 random instances suffice for all q < 128
+        fam, attempts = paper_random_search(q, instances=30, seed=1)
+        assert len(fam) == max_disjoint_upper_bound(q)
+        assert attempts <= 30
+
+    def test_attempt_budget_respected(self):
+        fam, attempts = paper_random_search(5, instances=1, seed=3)
+        assert attempts == 1
+        assert len(fam) <= max_disjoint_upper_bound(5)
+
+
+class TestEdgeDisjointTrees:
+    @pytest.mark.parametrize("q", QS)
+    def test_trees_are_edge_disjoint_spanning(self, q):
+        sg = singer_graph(q)
+        trees = edge_disjoint_hamiltonian_trees(q)
+        assert len(trees) == max_disjoint_upper_bound(q)
+        assert are_edge_disjoint(trees)
+        for t in trees:
+            t.validate(sg.graph)
+            assert t.depth == (sg.n - 1) // 2
+
+    def test_odd_q_uses_all_edges(self):
+        # for odd q, (q+1)/2 Hamiltonian paths consume every edge exactly once
+        sg = singer_graph(5)
+        trees = edge_disjoint_hamiltonian_trees(5)
+        used = set()
+        for t in trees:
+            used |= t.edges
+        assert used == set(sg.graph.edges)
+
+    def test_even_q_leaves_one_color_unused(self):
+        # Figure 4b: q=4 uses 2 paths (4 colors); one color class is unused
+        sg = singer_graph(4)
+        trees = edge_disjoint_hamiltonian_trees(4)
+        used = set()
+        for t in trees:
+            used |= t.edges
+        unused = set(sg.graph.edges) - used
+        assert len(unused) == (sg.n - 1) // 2  # exactly one color class
+
+    def test_explicit_pairs(self):
+        # Figure 4a: q=3 paths colored (0,1) and (3,9)
+        trees = edge_disjoint_hamiltonian_trees(3, pairs=[(0, 1), (3, 9)])
+        assert are_edge_disjoint(trees)
+        assert [t.tree_id for t in trees] == [0, 1]
+
+    def test_overlapping_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            edge_disjoint_hamiltonian_trees(3, pairs=[(0, 1), (1, 3)])
+
+    def test_non_hamiltonian_pair_rejected(self):
+        with pytest.raises(ValueError):
+            edge_disjoint_hamiltonian_trees(4, pairs=[(0, 14)])

@@ -1,0 +1,31 @@
+"""Tests for the Corollary 7.16 erratum demonstration."""
+
+import pytest
+
+from repro.analysis import errata_report, printed_closed_form
+from repro.trees import alternating_path, alternating_path_closed_form, hamiltonian_pairs
+
+
+class TestErrata:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7])
+    def test_printed_form_is_the_shifted_sequence(self, q):
+        # the printed formulas compute b_{i+1} (0- vs 1-based parity mixup):
+        # positions 1..k-1 of the printed output equal positions 2..k of
+        # the true path
+        for d0, d1 in hamiltonian_pairs(q)[:3]:
+            rec = alternating_path(q, d0, d1)
+            printed = printed_closed_form(q, d0, d1)
+            assert printed != rec
+            assert printed[:-1] == rec[1:]
+
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9])
+    def test_corrected_form_always_matches(self, q):
+        for d0, d1 in hamiltonian_pairs(q):
+            assert alternating_path_closed_form(q, d0, d1) == alternating_path(
+                q, d0, d1
+            )
+
+    def test_report_verdicts(self):
+        text = errata_report()
+        assert "printed matches recurrence: False" in text
+        assert "corrected matches recurrence: True" in text

@@ -1,0 +1,170 @@
+"""Tests for the even-q extension: nucleus layout + low-depth trees."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import aggregate_bandwidth, build_plan, tree_bandwidths
+from repro.topology import (
+    PolarFlyEvenLayout,
+    find_nucleus,
+    polarfly_even_layout,
+    polarfly_graph,
+)
+from repro.trees import (
+    edge_congestion,
+    low_depth_trees_even,
+    low_depth_trees_even_from_layout,
+    max_congestion,
+)
+from repro.utils.errors import UnsupportedRadixError
+
+EVEN_QS = [4, 8, 16]
+
+
+@pytest.fixture(params=EVEN_QS, ids=lambda q: f"q{q}")
+def layout(request):
+    return polarfly_even_layout(request.param)
+
+
+class TestNucleus:
+    @pytest.mark.parametrize("q", EVEN_QS)
+    def test_nucleus_neighborhood_is_quadric_set(self, q):
+        pf = polarfly_graph(q)
+        n = find_nucleus(pf)
+        assert pf.graph.neighbors(n) == set(pf.quadrics)
+        assert not pf.is_quadric(n)
+
+    def test_odd_q_has_no_nucleus(self):
+        with pytest.raises(UnsupportedRadixError):
+            find_nucleus(polarfly_graph(5))
+
+    @pytest.mark.parametrize("q", EVEN_QS)
+    def test_nucleus_degree(self, q):
+        pf = polarfly_graph(q)
+        assert pf.graph.degree(find_nucleus(pf)) == q + 1
+
+
+class TestEvenLayout:
+    def test_odd_q_rejected(self):
+        with pytest.raises(UnsupportedRadixError):
+            PolarFlyEvenLayout(polarfly_graph(5))
+
+    def test_bad_starter(self):
+        pf = polarfly_graph(4)
+        with pytest.raises(ValueError):
+            PolarFlyEvenLayout(pf, starter=find_nucleus(pf))
+
+    def test_partition(self, layout):
+        q = layout.q
+        assert len(layout.centers) == q - 1
+        seen = set(layout.quadric_cluster) | {layout.nucleus}
+        for c in layout.clusters:
+            assert len(c) == q + 1
+            assert not (set(c) & seen)
+            seen |= set(c)
+        assert len(seen) == layout.pf.n
+
+    def test_property_inter_cluster_edges(self, layout):
+        # even-q analogue of Property 3: exactly q edges between clusters
+        q = layout.q
+        for i, j in itertools.combinations(range(q - 1), 2):
+            assert layout.edges_between_clusters(i, j) == q
+        with pytest.raises(ValueError):
+            layout.edges_between_clusters(0, 0)
+
+    def test_property_edges_to_w(self, layout):
+        q = layout.q
+        for i in range(q - 1):
+            assert layout.edges_to_quadric_cluster(i) == q + 1
+
+    def test_members_have_one_quadric_neighbor(self, layout):
+        for c in layout.clusters:
+            quads = {layout.quadric_neighbor_of_member(u) for u in c}
+            # the cluster's q+1 members see q+1 DISTINCT quadrics
+            assert len(quads) == layout.q + 1
+
+    def test_centers_quadric_neighbor_is_starter(self, layout):
+        for i in range(layout.q - 1):
+            assert layout.quadric_neighbor_of_member(layout.center_of(i)) == layout.starter
+
+    def test_cluster_of(self, layout):
+        for i, c in enumerate(layout.clusters):
+            for v in c:
+                assert layout.cluster_of(v) == i
+        assert layout.cluster_of(layout.nucleus) is None
+        assert layout.cluster_of(layout.starter) is None
+
+    def test_custom_starter(self):
+        pf = polarfly_graph(4)
+        lay = PolarFlyEvenLayout(pf, starter=pf.quadrics[2])
+        assert lay.starter == pf.quadrics[2]
+        assert len(lay.clusters) == 3
+
+
+class TestEvenLowDepthTrees:
+    @pytest.mark.parametrize("q", EVEN_QS)
+    def test_spanning_depth_congestion(self, q):
+        trees = low_depth_trees_even(q)
+        g = polarfly_graph(q).graph
+        assert len(trees) == q - 1
+        for t in trees:
+            t.validate(g)
+            assert t.depth <= 3
+        assert max_congestion(trees) <= 2
+
+    @pytest.mark.parametrize("q", EVEN_QS)
+    def test_aggregate_bandwidth(self, q):
+        g = polarfly_graph(q).graph
+        trees = low_depth_trees_even(q)
+        assert aggregate_bandwidth(g, trees) == Fraction(q - 1, 2)
+
+    def test_odd_q_rejected(self):
+        with pytest.raises(UnsupportedRadixError):
+            low_depth_trees_even(5)
+
+    def test_all_starters_work(self):
+        pf = polarfly_graph(8)
+        for w in pf.quadrics:
+            lay = PolarFlyEvenLayout(pf, starter=w)
+            trees = low_depth_trees_even_from_layout(lay)
+            assert len(trees) == 7
+            assert max_congestion(trees) <= 2
+            assert all(t.depth <= 3 for t in trees)
+
+    def test_build_plan_scheme(self):
+        plan = build_plan(8, "low-depth-even")
+        assert plan.num_trees == 7
+        assert plan.max_depth <= 3
+        assert plan.max_congestion == 2
+        assert plan.aggregate_bandwidth == Fraction(7, 2)
+        assert plan.normalized_bandwidth == Fraction(7, 9)
+
+    def test_build_plan_odd_q_rejected(self):
+        with pytest.raises(UnsupportedRadixError):
+            build_plan(5, "low-depth-even")
+
+    def test_functional_execution(self):
+        from repro.simulator import verify_plan
+
+        assert verify_plan(build_plan(4, "low-depth-even"))
+        assert verify_plan(build_plan(8, "low-depth-even"))
+
+    @pytest.mark.parametrize("q", EVEN_QS)
+    def test_lemma_78_analogue_holds(self, q):
+        # one reduction per input port — the single-shared-engine property
+        from repro.simulator import embedding_resources
+
+        g = polarfly_graph(q).graph
+        res = embedding_resources(g, low_depth_trees_even(q))
+        assert res.max_reduction_inputs_per_port == 1
+
+    def test_fills_latency_gap_for_even_q(self):
+        # at even q the paper offers only the deep Hamiltonian solution;
+        # the extension offers depth 3 at a modest bandwidth cost
+        ld = build_plan(8, "low-depth-even")
+        ed = build_plan(8, "edge-disjoint")
+        assert ld.max_depth == 3 < ed.max_depth == 36
+        assert ld.aggregate_bandwidth == Fraction(7, 2)
+        assert ed.aggregate_bandwidth == 4

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs green end to end (small configs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["5"]),
+    ("quickstart.py", ["7", "edge-disjoint"]),
+    ("distributed_training.py", ["3", "60"]),
+    ("topology_explorer.py", ["3"]),
+    ("bandwidth_study.py", ["16", "5"]),
+    ("simulator_demo.py", ["3", "120"]),
+    ("fault_tolerance.py", ["5", "2"]),
+    ("custom_topology.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[f"{s}-{'-'.join(a)}" for s, a in CASES])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_verifies_result():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "3"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "result verified OK" in proc.stdout
+
+
+def test_training_converges():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "distributed_training.py"), "3", "80"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "converged" in proc.stdout

@@ -1,0 +1,124 @@
+"""Tests for the DOT/GraphML exporters and the CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import build_plan
+from repro.topology import (
+    embedding_to_dot,
+    graph_to_dot,
+    graph_to_graphml,
+    polarfly_graph,
+    singer_graph,
+    singer_to_dot,
+)
+
+
+class TestDotExport:
+    def test_graph_to_dot_structure(self):
+        pf = polarfly_graph(3)
+        dot = graph_to_dot(pf.graph)
+        assert dot.startswith("graph G {") and dot.endswith("}")
+        # one line per edge
+        assert dot.count(" -- ") == pf.graph.num_edges
+        # quadrics are double-circled
+        assert dot.count("peripheries=2") == len(pf.quadrics)
+
+    def test_node_labels_and_colors(self):
+        pf = polarfly_graph(3)
+        dot = graph_to_dot(pf.graph, node_labels={0: "zero"}, node_colors={1: "red"})
+        assert 'label="zero"' in dot
+        assert 'fillcolor="red"' in dot
+
+    def test_embedding_to_dot(self):
+        plan = build_plan(3, "low-depth")
+        dot = embedding_to_dot(plan.topology, plan.trees)
+        # every tree edge appears directed toward the parent
+        n_tree_edges = sum(len(t.edges) for t in plan.trees)
+        assert dot.count("dir=forward") == n_tree_edges
+        for t in plan.trees:
+            assert f"root={t.root}" in dot
+
+    def test_singer_to_dot(self):
+        sg = singer_graph(3)
+        dot = singer_to_dot(sg)
+        assert dot.count(" -- ") == sg.graph.num_edges
+        assert dot.count("peripheries=2") == len(sg.reflections)
+
+    def test_graphml_roundtrip(self, tmp_path):
+        import networkx as nx
+
+        pf = polarfly_graph(3)
+        path = str(tmp_path / "er3.graphml")
+        graph_to_graphml(pf.graph, path)
+        g = nx.read_graphml(path)
+        assert g.number_of_nodes() == pf.n
+        # edges include the self-loops by default
+        assert g.number_of_edges() == pf.graph.num_edges + len(pf.quadrics)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self, capsys):
+        assert main(["info", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "N=13" in out and "{0, 1, 3, 9}" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "5", "--scheme", "edge-disjoint", "-m", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "3 trees" in out
+        assert "partition of m=30: [10, 10, 10]" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "3", "-m", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out and "predicted" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--qmax", "8", "--figure1-q", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "FAIL" not in out
+
+    def test_config_stdout(self, capsys):
+        import json
+
+        assert main(["config", "3", "--scheme", "edge-disjoint"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["vcs_per_plane"] == 1
+        assert doc["num_trees"] == 2
+
+    def test_config_to_file(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "fabric.json")
+        assert main(["config", "5", "-o", path]) == 0
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["num_routers"] == 31
+
+    def test_export_dot_stdout(self, capsys):
+        assert main(["export", "3", "--what", "singer"]) == 0
+        assert "graph Singer" in capsys.readouterr().out
+
+    def test_export_to_file(self, tmp_path):
+        path = str(tmp_path / "trees.dot")
+        assert main(["export", "3", "--what", "trees", "-o", path]) == 0
+        with open(path) as f:
+            assert "digraph" in f.read()
+
+    def test_export_graphml(self, tmp_path):
+        path = str(tmp_path / "er.graphml")
+        assert main(["export", "3", "--format", "graphml", "-o", path]) == 0
+        assert os.path.exists(path)
+
+    def test_export_graphml_requires_output(self, capsys):
+        assert main(["export", "3", "--format", "graphml"]) == 2
+
+    def test_export_trees_graphml_unsupported(self, capsys):
+        assert main(["export", "3", "--what", "trees", "--format", "graphml"]) == 2

@@ -1,0 +1,117 @@
+"""Tests for the reference topology families."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    complete_graph,
+    hypercube_graph,
+    hyperx_graph,
+    random_regular_graph,
+    ring_graph,
+    torus_graph,
+)
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring_graph(6)
+        assert g.n == 6 and g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+        assert g.diameter() == 3
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+
+class TestComplete:
+    def test_structure(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert g.diameter() == 1
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            complete_graph(1)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_structure(self, d):
+        g = hypercube_graph(d)
+        assert g.n == 1 << d
+        assert g.num_edges == d * (1 << d) // 2
+        assert all(g.degree(v) == d for v in range(g.n))
+        assert g.diameter() == d
+
+    def test_neighbors_differ_in_one_bit(self):
+        g = hypercube_graph(4)
+        for v in range(g.n):
+            for u in g.neighbors(v):
+                x = u ^ v
+                assert x and (x & (x - 1)) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+
+
+class TestTorus:
+    def test_2d(self):
+        g = torus_graph([4, 4])
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in range(g.n))
+        assert g.diameter() == 4  # 2 + 2
+
+    def test_3d(self):
+        g = torus_graph([3, 3, 3])
+        assert g.n == 27
+        assert all(g.degree(v) == 6 for v in range(g.n))
+
+    def test_dim2_collapses_parallel_links(self):
+        # wrap-around on a size-2 dimension is the same link
+        g = torus_graph([2, 3])
+        assert all(g.degree(v) in (3,) for v in range(g.n))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            torus_graph([])
+        with pytest.raises(ValueError):
+            torus_graph([4, 1])
+
+
+class TestHyperX:
+    def test_1d_is_complete(self):
+        g = hyperx_graph([5])
+        assert g.num_edges == complete_graph(5).num_edges
+
+    def test_2d(self):
+        g = hyperx_graph([3, 4])
+        assert g.n == 12
+        # degree = (3-1) + (4-1) = 5
+        assert all(g.degree(v) == 5 for v in range(g.n))
+        assert g.diameter() == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hyperx_graph([1, 3])
+
+
+class TestRandomRegular:
+    def test_structure(self):
+        g = random_regular_graph(20, 4, seed=0)
+        assert g.n == 20
+        assert all(g.degree(v) == 4 for v in range(20))
+        assert g.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = random_regular_graph(16, 3, seed=5)
+        b = random_regular_graph(16, 3, seed=5)
+        assert a.edges == b.edges
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)  # odd n*degree
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)  # degree >= n

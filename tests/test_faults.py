@@ -1,0 +1,135 @@
+"""Tests for link-failure handling (degraded/repaired plans)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_plan
+from repro.core.faults import (
+    affected_trees,
+    degraded_plan,
+    remove_links,
+    repaired_plan,
+)
+from repro.simulator import execute_plan, verify_plan
+
+
+def pick_tree_edge(plan, tree_index=0):
+    return sorted(plan.trees[tree_index].edges)[0]
+
+
+class TestAffectedTrees:
+    def test_edge_disjoint_loses_at_most_one(self):
+        plan = build_plan(5, "edge-disjoint")
+        for t in plan.trees:
+            for e in sorted(t.edges)[:3]:
+                assert len(affected_trees(plan.trees, [e])) == 1
+
+    def test_low_depth_loses_at_most_two(self):
+        # Theorem 7.6: congestion <= 2
+        plan = build_plan(5, "low-depth")
+        for e in sorted(plan.topology.edges):
+            assert len(affected_trees(plan.trees, [e])) <= 2
+
+    def test_unused_link_affects_nothing(self):
+        plan = build_plan(4, "edge-disjoint")  # q=4 leaves one color unused
+        used = set()
+        for t in plan.trees:
+            used |= t.edges
+        unused = sorted(set(plan.topology.edges) - used)
+        assert unused
+        assert affected_trees(plan.trees, [unused[0]]) == []
+
+
+class TestRemoveLinks:
+    def test_removal(self):
+        plan = build_plan(3, "single")
+        e = pick_tree_edge(plan)
+        g = remove_links(plan.topology, [e])
+        assert not g.has_edge(*e)
+        assert g.num_edges == plan.topology.num_edges - 1
+        assert g.self_loops == plan.topology.self_loops
+
+    def test_invalid_link(self):
+        plan = build_plan(3, "single")
+        with pytest.raises(ValueError):
+            remove_links(plan.topology, [(0, 0)])
+        non_edge = next(
+            (u, v)
+            for u in range(plan.num_nodes)
+            for v in range(u + 1, plan.num_nodes)
+            if not plan.topology.has_edge(u, v)
+        )
+        with pytest.raises(ValueError):
+            remove_links(plan.topology, [non_edge])
+
+
+class TestDegradedPlan:
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint"])
+    def test_survivors_still_correct(self, scheme):
+        plan = build_plan(5, scheme)
+        e = pick_tree_edge(plan)
+        deg = degraded_plan(plan, [e])
+        assert deg.num_trees < plan.num_trees
+        assert verify_plan(deg)
+        # no surviving tree uses the failed link
+        for t in deg.trees:
+            assert e not in t.edges
+
+    def test_bandwidth_shrinks_but_positive(self):
+        plan = build_plan(7, "edge-disjoint")
+        e = pick_tree_edge(plan)
+        deg = degraded_plan(plan, [e])
+        assert 0 < deg.aggregate_bandwidth < plan.aggregate_bandwidth
+
+    def test_single_tree_cannot_degrade(self):
+        plan = build_plan(3, "single")
+        e = pick_tree_edge(plan)
+        with pytest.raises(ValueError):
+            degraded_plan(plan, [e])
+
+    def test_multiple_failures(self):
+        plan = build_plan(7, "edge-disjoint")
+        edges = [pick_tree_edge(plan, 0), pick_tree_edge(plan, 1)]
+        deg = degraded_plan(plan, edges)
+        assert deg.num_trees == plan.num_trees - 2
+        assert verify_plan(deg)
+
+
+class TestRepairedPlan:
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint", "single"])
+    def test_tree_count_restored(self, scheme):
+        plan = build_plan(5, scheme)
+        e = pick_tree_edge(plan)
+        rep = repaired_plan(plan, [e])
+        assert rep.num_trees == plan.num_trees
+        assert verify_plan(rep)
+        for t in rep.trees:
+            assert e not in t.edges
+
+    def test_roots_preserved(self):
+        plan = build_plan(5, "low-depth")
+        e = pick_tree_edge(plan, 2)
+        rep = repaired_plan(plan, [e])
+        assert sorted(t.root for t in rep.trees) == sorted(t.root for t in plan.trees)
+
+    def test_bandwidth_at_least_degraded(self):
+        plan = build_plan(7, "low-depth")
+        e = pick_tree_edge(plan)
+        rep = repaired_plan(plan, [e])
+        deg = degraded_plan(plan, [e])
+        assert rep.aggregate_bandwidth >= deg.aggregate_bandwidth
+
+    def test_functional_execution_after_repair(self):
+        plan = build_plan(5, "edge-disjoint")
+        e = pick_tree_edge(plan, 1)
+        rep = repaired_plan(plan, [e])
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 50, size=(rep.num_nodes, 29))
+        out = execute_plan(rep, x)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+    def test_scheme_label(self):
+        plan = build_plan(5, "low-depth")
+        e = pick_tree_edge(plan)
+        assert repaired_plan(plan, [e]).scheme == "low-depth+repaired"
+        assert degraded_plan(plan, [e]).scheme == "low-depth+degraded"

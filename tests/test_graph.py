@@ -1,0 +1,176 @@
+"""Tests for the base Graph structure and diameter-2 routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    Graph,
+    canonical_edge,
+    minimal_route,
+    polarfly_graph,
+    route_edges,
+    traffic_per_link,
+)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph(3)
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+        assert not g.has_edge(0, 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+    def test_add_edge_symmetric(self):
+        g = Graph(4)
+        g.add_edge(2, 1)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.edges == frozenset({(1, 2)})
+        assert g.neighbors(1) == {2}
+
+    def test_self_loop_tracked_separately(self):
+        g = Graph(4)
+        g.add_edge(3, 3)
+        assert g.num_edges == 0
+        assert g.self_loops == {3}
+        assert g.has_edge(3, 3)
+        g.add_self_loop(1)
+        assert g.self_loops == {1, 3}
+
+    def test_out_of_range(self):
+        g = Graph(4)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 4)
+        with pytest.raises(ValueError):
+            g.neighbors(-1)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert g.degree_sequence() == [1, 1, 2, 2]
+
+    def test_canonical_edge(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+        assert canonical_edge(3, 3) == (3, 3)
+
+
+class TestTraversal:
+    def path_graph(self, n):
+        return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+    def test_bfs_layers(self):
+        g = self.path_graph(5)
+        assert g.bfs_layers(0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_connectivity(self):
+        g = self.path_graph(4)
+        assert g.is_connected()
+        g2 = Graph(4)
+        g2.add_edge(0, 1)
+        assert not g2.is_connected()
+
+    def test_eccentricity_and_diameter(self):
+        g = self.path_graph(5)
+        assert g.eccentricity(0) == 4
+        assert g.eccentricity(2) == 2
+        assert g.diameter() == 4
+
+    def test_eccentricity_disconnected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.eccentricity(0)
+
+    def test_paths_of_length_two(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert g.paths_of_length_two(0, 2) == [1, 3]
+
+    def test_to_networkx(self):
+        import networkx as nx
+
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g.add_self_loop(0)
+        nxg = g.to_networkx()
+        assert nxg.number_of_edges() == 2
+        nxg_loops = g.to_networkx(include_self_loops=True)
+        assert nxg_loops.number_of_edges() == 3
+        assert nx.is_connected(nxg)
+
+    @given(st.integers(min_value=2, max_value=30), st.data())
+    @settings(max_examples=30)
+    def test_bfs_distances_are_metric(self, n, data):
+        edges = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=60,
+            )
+        )
+        g = Graph.from_edges(n, edges)
+        g.add_edge(0, n - 1)  # keep 0's component nontrivial
+        dist = g.bfs_layers(0)
+        for u in dist:
+            for v in g.neighbors(u):
+                assert v in dist
+                assert abs(dist[u] - dist[v]) <= 1
+
+
+class TestRouting:
+    def test_route_on_polarfly(self):
+        pf = polarfly_graph(5)
+        g = pf.graph
+        for u in range(0, pf.n, 7):
+            for v in range(0, pf.n, 5):
+                path = minimal_route(g, u, v)
+                assert path[0] == u and path[-1] == v
+                assert len(path) <= 3
+                for a, b in zip(path, path[1:]):
+                    assert g.has_edge(a, b)
+
+    def test_route_self(self):
+        pf = polarfly_graph(3)
+        assert minimal_route(pf.graph, 4, 4) == [4]
+
+    def test_route_unreachable(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            minimal_route(g, 0, 3)
+
+    def test_route_edges(self):
+        pf = polarfly_graph(3)
+        g = pf.graph
+        u = 0
+        v = next(x for x in range(pf.n) if x != u and not g.has_edge(u, x))
+        es = route_edges(g, u, v)
+        assert len(es) == 2
+        assert all(a < b for a, b in es)
+
+    def test_traffic_per_link(self):
+        pf = polarfly_graph(3)
+        g = pf.graph
+        u, v = next(iter(g.edges))
+        load = traffic_per_link(g, [(u, v, 2.0), (v, u, 3.0)])
+        assert load == {canonical_edge(u, v): 5.0}
+
+    def test_traffic_conservation(self):
+        # total link traffic == sum over flows of hops * volume
+        pf = polarfly_graph(5)
+        g = pf.graph
+        flows = [(0, 9, 1.0), (3, 17, 2.0), (8, 8, 4.0)]
+        load = traffic_per_link(g, flows)
+        expected = sum(
+            (len(minimal_route(g, s, d)) - 1) * vol for s, d, vol in flows
+        )
+        assert sum(load.values()) == pytest.approx(expected)

@@ -1,0 +1,137 @@
+"""End-to-end integration tests spanning the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InNetworkCollectives,
+    build_plan,
+    degraded_plan,
+    optimal_bandwidth,
+    repaired_plan,
+)
+from repro.simulator import (
+    Network,
+    execute_plan,
+    fluid_simulate,
+    simulate_allreduce,
+)
+from repro.topology import polarfly_graph, singer_graph, verify_isomorphic
+
+
+class TestFullPipelineOddQ:
+    """Construct -> model -> simulate -> execute, q=7, all schemes."""
+
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint", "single"])
+    def test_pipeline(self, scheme):
+        q, m = 7, 228
+        plan = build_plan(q, scheme)
+
+        # analytic model is internally consistent
+        assert 0 < plan.aggregate_bandwidth <= optimal_bandwidth(q)
+        parts = plan.partition(m)
+        assert sum(parts) == m
+
+        # router feasibility
+        net = Network(plan.topology, plan.trees)
+        assert net.single_engine_feasible()
+        assert max(net.link_vcs().values()) == plan.max_congestion
+
+        # numerical correctness through the actual dataflow
+        rng = np.random.default_rng(q)
+        x = rng.integers(-9, 9, size=(plan.num_nodes, m))
+        out = execute_plan(plan, x)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+        # flit-level timing agrees with the fluid model
+        stats = simulate_allreduce(plan.topology, plan.trees, parts)
+        fluid = fluid_simulate(plan.topology, plan.trees, m, hop_latency=1)
+        assert stats.cycles <= float(fluid.makespan) * 1.02 + 2
+
+
+class TestFailureRecoveryCycle:
+    def test_fail_repair_reexecute_resimulate(self):
+        q = 5
+        plan = build_plan(q, "low-depth")
+        failed = sorted(plan.trees[0].edges)[0]
+
+        deg = degraded_plan(plan, [failed])
+        rep = repaired_plan(plan, [failed])
+        assert deg.num_trees < plan.num_trees == rep.num_trees
+
+        for p in (deg, rep):
+            rng = np.random.default_rng(1)
+            x = rng.integers(0, 7, size=(p.num_nodes, 50))
+            out = execute_plan(p, x)
+            assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+            stats = simulate_allreduce(p.topology, p.trees, p.partition(50))
+            assert stats.cycles > 0
+
+    def test_repeated_failures_until_degraded(self):
+        plan = build_plan(5, "edge-disjoint")
+        current = plan
+        for i in range(2):
+            e = sorted(current.trees[0].edges)[0]
+            current = repaired_plan(current, [e])
+            assert current.num_trees == plan.num_trees
+        assert "repaired" in current.scheme
+
+
+class TestCollectivesOverSimulatedFabric:
+    def test_training_step_equivalence(self):
+        # the distributed_training example's core loop, asserted exactly
+        q = 5
+        plan = build_plan(q, "low-depth")
+        coll = InNetworkCollectives(plan)
+        rng = np.random.default_rng(0)
+        grads = rng.standard_normal((plan.num_nodes, 96))
+        via_coll = coll.allreduce(grads)
+        via_plan = execute_plan(plan, grads)
+        np.testing.assert_allclose(via_coll, via_plan)
+        np.testing.assert_allclose(via_coll[0], grads.sum(axis=0), rtol=1e-10)
+
+    def test_reduce_scatter_plus_broadcast_equals_allreduce(self):
+        plan = build_plan(7, "edge-disjoint")
+        coll = InNetworkCollectives(plan)
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 5, size=(plan.num_nodes, 64))
+        slices = coll.reduce_scatter(x)
+        assert {s.root for s in slices} == {t.root for t in plan.trees}
+        out = coll.broadcast(slices, 64)
+        assert np.array_equal(out, coll.allreduce(x))
+
+
+class TestDualConstructionConsistency:
+    """The two topology constructions drive the two tree families; their
+    performance metrics must agree through the isomorphism."""
+
+    @pytest.mark.parametrize("q", [3, 4, 5])
+    def test_graphs_isomorphic(self, q):
+        assert verify_isomorphic(polarfly_graph(q), singer_graph(q))
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9])
+    def test_optimums_match(self, q):
+        # optimal bandwidth is a graph invariant: same on both labelings
+        er, sg = polarfly_graph(q), singer_graph(q)
+        assert er.graph.num_edges == sg.graph.num_edges
+        assert er.graph.degree_sequence() == sg.graph.degree_sequence()
+
+    def test_plan_metrics_use_matching_labelings(self):
+        # low-depth plans live on ER labels, edge-disjoint on Singer labels;
+        # both report against the same optimum
+        ld = build_plan(5, "low-depth")
+        ed = build_plan(5, "edge-disjoint")
+        assert ld.num_nodes == ed.num_nodes
+        assert ld.normalized_bandwidth < ed.normalized_bandwidth == 1
+
+
+class TestBufferedEndToEnd:
+    def test_flow_controlled_multi_tree_allreduce(self):
+        plan = build_plan(5, "low-depth")
+        m = 150
+        parts = plan.partition(m)
+        unbuf = simulate_allreduce(plan.topology, plan.trees, parts)
+        lbp = simulate_allreduce(plan.topology, plan.trees, parts, buffer_size=2)
+        assert lbp.cycles <= unbuf.cycles * 1.05 + 2
+        tiny = simulate_allreduce(plan.topology, plan.trees, parts, buffer_size=1)
+        assert tiny.cycles > unbuf.cycles

@@ -1,0 +1,78 @@
+"""Tests for Theorem 6.6: S_q is isomorphic to ER_q, classes correspond."""
+
+import pytest
+
+from repro.topology import (
+    polarfly_graph,
+    singer_graph,
+    singer_vertex_classes,
+    structural_invariants,
+    verify_isomorphic,
+)
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 11, 13])
+    def test_invariants_agree(self, q):
+        pf, sg = polarfly_graph(q), singer_graph(q)
+        assert structural_invariants(pf.graph) == structural_invariants(sg.graph)
+
+    def test_invariants_detect_difference(self):
+        pf3, pf5 = polarfly_graph(3), polarfly_graph(5)
+        assert structural_invariants(pf3.graph) != structural_invariants(pf5.graph)
+
+    def test_triangle_count_positive(self):
+        inv = structural_invariants(polarfly_graph(3).graph)
+        assert inv["triangles"] > 0
+
+
+class TestExactIsomorphism:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7])
+    def test_isomorphic(self, q):
+        assert verify_isomorphic(polarfly_graph(q), singer_graph(q))
+
+    def test_non_isomorphic_rejected(self):
+        assert not verify_isomorphic(polarfly_graph(3), singer_graph(5))
+
+
+class TestVertexClassCorrespondence:
+    @pytest.mark.parametrize("q", [3, 5, 7, 9, 11])
+    def test_class_cardinalities_match(self, q):
+        # Corollaries 6.8/6.9: quadrics <-> reflection points, V1 <-> their
+        # neighbors; class sizes must agree with Table 1.
+        pf, sg = polarfly_graph(q), singer_graph(q)
+        classes = singer_vertex_classes(sg)
+        assert len(classes["W"]) == len(pf.quadrics) == q + 1
+        assert len(classes["V1"]) == len(pf.v1_vertices) == q * (q + 1) // 2
+        assert len(classes["V2"]) == len(pf.v2_vertices) == q * (q - 1) // 2
+
+    @pytest.mark.parametrize("q", [3, 4, 5])
+    def test_reflection_points_are_w_class(self, q):
+        sg = singer_graph(q)
+        classes = singer_vertex_classes(sg)
+        assert classes["W"] == sg.reflections
+
+    def test_corollary_68_formula(self):
+        # w = 2^{-1} d for d in D.
+        from repro.utils import mod_inverse
+
+        sg = singer_graph(5)
+        half = mod_inverse(2, sg.n)
+        assert set(sg.reflections) == {(half * d) % sg.n for d in sg.dset}
+
+    def test_corollary_69_v1_formula(self):
+        # V1 elements are d_i - 2^{-1} d_j for distinct d_i, d_j in D.
+        from repro.utils import mod_inverse
+
+        sg = singer_graph(5)
+        half = mod_inverse(2, sg.n)
+        v1_formula = {
+            (di - half * dj) % sg.n
+            for di in sg.dset
+            for dj in sg.dset
+            if di != dj
+        }
+        classes = singer_vertex_classes(sg)
+        # The formula can also produce reflection points (when d_i - 2^{-1}d_j
+        # happens to be one); V1 is exactly the non-reflection part.
+        assert set(classes["V1"]) == v1_formula - set(sg.reflections)

@@ -1,0 +1,104 @@
+"""Tests for the latency-aware waterfilling partition."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import allreduce_time, latency_aware_partition, optimal_partition
+
+
+def makespan(parts, bws, lats):
+    return max(
+        Fraction(l) + (Fraction(p) / Fraction(b) if p else 0)
+        for p, b, l in zip(parts, bws, lats)
+    )
+
+
+class TestWaterfilling:
+    def test_equal_latency_reduces_to_equation_2(self):
+        bws = [Fraction(1, 2), Fraction(1, 2), 1]
+        assert latency_aware_partition(100, bws, [5, 5, 5]) == optimal_partition(
+            100, bws
+        )
+
+    def test_slow_tree_gets_less(self):
+        # same bandwidth, one tree pays 20 extra latency -> 10 fewer elements
+        parts = latency_aware_partition(100, [1, 1], [0, 20])
+        assert parts == [60, 40]
+        assert makespan(parts, [1, 1], [0, 20]) == 60
+
+    def test_very_slow_tree_carries_nothing(self):
+        parts = latency_aware_partition(10, [1, 1], [0, 1000])
+        assert parts == [10, 0]
+
+    def test_zero_bandwidth_tree_excluded(self):
+        parts = latency_aware_partition(30, [1, 0, 2], [0, 0, 0])
+        assert parts == [10, 0, 20]
+
+    def test_m_zero(self):
+        assert latency_aware_partition(0, [1, 2], [3, 4]) == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_aware_partition(-1, [1], [0])
+        with pytest.raises(ValueError):
+            latency_aware_partition(5, [1, 1], [0])
+        with pytest.raises(ValueError):
+            latency_aware_partition(5, [0], [0])
+        with pytest.raises(ValueError):
+            latency_aware_partition(5, [-1, 2], [0, 0])
+
+    def test_beats_equation2_on_mixed_depths(self):
+        # a repaired edge-disjoint plan mixes depth-(N-1)/2 paths with a
+        # shallower greedy tree: waterfilling wins
+        from repro.core import build_plan, repaired_plan
+
+        plan = build_plan(7, "edge-disjoint")
+        rep = repaired_plan(plan, [sorted(plan.trees[0].edges)[0]])
+        depths = [2 * t.depth for t in rep.trees]
+        if len(set(depths)) == 1:
+            pytest.skip("repair produced equal depths")
+        m = 500
+        eq2 = rep.partition(m)
+        wf = latency_aware_partition(m, rep.bandwidths, depths)
+        t_eq2 = makespan(eq2, rep.bandwidths, depths)
+        t_wf = makespan(wf, rep.bandwidths, depths)
+        assert t_wf <= t_eq2
+
+    @given(
+        m=st.integers(min_value=0, max_value=5000),
+        k=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, m, k, data):
+        bws = data.draw(
+            st.lists(st.integers(min_value=0, max_value=8), min_size=k, max_size=k)
+        )
+        lats = data.draw(
+            st.lists(st.integers(min_value=0, max_value=50), min_size=k, max_size=k)
+        )
+        if sum(bws) == 0:
+            return
+        parts = latency_aware_partition(m, bws, lats)
+        assert sum(parts) == m
+        assert all(p >= 0 for p in parts)
+        for p, b in zip(parts, bws):
+            if b == 0:
+                assert p == 0
+        if m == 0:
+            return
+        # local optimality: moving one element never improves the makespan
+        # by more than a rounding quantum
+        base = makespan(parts, bws, lats)
+        quantum = max(Fraction(1, b) for b in bws if b > 0)
+        for i in range(k):
+            for j in range(k):
+                if i == j or parts[i] == 0 or bws[j] == 0:
+                    continue
+                alt = list(parts)
+                alt[i] -= 1
+                alt[j] += 1
+                assert makespan(alt, bws, lats) >= base - quantum

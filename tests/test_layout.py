@@ -1,0 +1,179 @@
+"""Tests for the Algorithm 2 layout (Section 6.1.1, Properties 1-3, Lemma 7.2)."""
+
+import itertools
+
+import pytest
+
+from repro.topology import polarfly_graph, polarfly_layout
+from repro.topology.layout import PolarFlyLayout
+from repro.utils.errors import UnsupportedRadixError
+
+ODD_QS = [3, 5, 7, 9, 11]
+
+
+@pytest.fixture(params=ODD_QS, ids=lambda q: f"q{q}")
+def layout(request):
+    return polarfly_layout(request.param)
+
+
+class TestConstruction:
+    def test_even_q_rejected(self):
+        for q in (4, 8, 16):
+            with pytest.raises(UnsupportedRadixError):
+                PolarFlyLayout(polarfly_graph(q))
+
+    def test_bad_starter_rejected(self):
+        pf = polarfly_graph(5)
+        non_quadric = pf.v1_vertices[0]
+        with pytest.raises(ValueError):
+            PolarFlyLayout(pf, starter=non_quadric)
+
+    def test_default_starter_is_smallest_quadric(self, layout):
+        assert layout.starter == layout.pf.quadrics[0]
+
+    def test_custom_starter(self):
+        pf = polarfly_graph(5)
+        w = pf.quadrics[2]
+        lay = PolarFlyLayout(pf, starter=w)
+        assert lay.starter == w
+        assert len(lay.clusters) == 5
+
+    def test_every_vertex_in_exactly_one_cluster(self, layout):
+        seen = list(layout.quadric_cluster)
+        for c in layout.clusters:
+            seen.extend(c)
+        assert sorted(seen) == list(range(layout.pf.n))
+
+
+class TestProperty1:
+    def test_cluster_sizes(self, layout):
+        q = layout.q
+        assert len(layout.quadric_cluster) == q + 1
+        assert len(layout.clusters) == q
+        for c in layout.clusters:
+            assert len(c) == q
+
+    def test_no_edges_between_quadrics(self, layout):
+        g = layout.pf.graph
+        for w1, w2 in itertools.combinations(layout.quadric_cluster, 2):
+            assert not g.has_edge(w1, w2)
+
+    def test_center_adjacent_to_all_cluster_members(self, layout):
+        g = layout.pf.graph
+        for i, c in enumerate(layout.clusters):
+            center = layout.center_of(i)
+            for v in c:
+                if v != center:
+                    assert g.has_edge(center, v)
+
+
+class TestProperty2:
+    def test_q_plus_1_edges_to_quadric_cluster(self, layout):
+        for i in range(layout.q):
+            assert layout.edges_to_quadric_cluster(i) == layout.q + 1
+
+    def test_every_quadric_adjacent_to_exactly_one_cluster_vertex(self, layout):
+        g = layout.pf.graph
+        for w in layout.quadric_cluster:
+            for c in layout.clusters:
+                assert sum(1 for v in c if g.has_edge(w, v)) == 1
+
+    def test_v1_members_adjacent_to_two_quadrics(self, layout):
+        pf = layout.pf
+        qs = set(layout.quadric_cluster)
+        for c in layout.clusters:
+            for v in c:
+                if pf.vertex_type(v) == "V1":
+                    assert sum(1 for w in qs if pf.graph.has_edge(v, w)) == 2
+
+
+class TestProperty3:
+    def test_q_minus_2_edges_between_clusters(self, layout):
+        for i, j in itertools.combinations(range(layout.q), 2):
+            assert layout.edges_between_clusters(i, j) == layout.q - 2
+
+    def test_edges_between_requires_distinct(self, layout):
+        with pytest.raises(ValueError):
+            layout.edges_between_clusters(0, 0)
+
+    def test_center_and_one_vertex_not_adjacent_to_other_cluster(self, layout):
+        # Property 3.2: exactly the center v_j and one non-center u in C_j
+        # have no neighbor in C_i.
+        g = layout.pf.graph
+        for i, j in itertools.permutations(range(layout.q), 2):
+            ci = set(layout.clusters[i])
+            missing = [
+                v for v in layout.clusters[j] if not any(g.has_edge(v, u) for u in ci)
+            ]
+            assert len(missing) == 2
+            assert layout.center_of(j) in missing
+
+
+class TestLemma72:
+    def test_centers_are_starter_neighbors(self, layout):
+        g = layout.pf.graph
+        assert set(layout.centers) == g.neighbors(layout.starter)
+
+    def test_center_quadric_neighbors(self, layout):
+        # Lemma 7.2: quadric neighbors of v_i are {w, w_i}, w_i distinct per i.
+        g = layout.pf.graph
+        qs = set(layout.quadric_cluster)
+        seen_wi = set()
+        for i in range(layout.q):
+            v = layout.center_of(i)
+            quadric_nbrs = sorted(u for u in g.neighbors(v) if u in qs)
+            assert len(quadric_nbrs) == 2
+            assert layout.starter in quadric_nbrs
+            wi = layout.nonstarter_quadric_of(i)
+            assert wi in quadric_nbrs and wi != layout.starter
+            assert wi not in seen_wi
+            seen_wi.add(wi)
+
+    def test_corollary_73_bijection(self, layout):
+        # Non-starter quadrics <-> centers is a bijection.
+        ns = layout.nonstarter_quadrics()
+        assert len(set(ns)) == layout.q
+        assert set(ns) == set(layout.quadric_cluster) - {layout.starter}
+        for i in range(layout.q):
+            w = layout.nonstarter_quadric_of(i)
+            assert layout.cluster_of_nonstarter_quadric(w) == i
+
+    def test_cluster_of_nonstarter_quadric_invalid(self, layout):
+        with pytest.raises(ValueError):
+            layout.cluster_of_nonstarter_quadric(layout.starter)
+
+
+class TestQueries:
+    def test_cluster_of(self, layout):
+        for i, c in enumerate(layout.clusters):
+            for v in c:
+                assert layout.cluster_of(v) == i
+        for w in layout.quadric_cluster:
+            assert layout.cluster_of(w) is None
+
+    def test_is_center(self, layout):
+        for i in range(layout.q):
+            assert layout.is_center(layout.center_of(i))
+        for c in layout.clusters:
+            for v in c:
+                if v != layout.center_of(layout.cluster_of(v)):
+                    assert not layout.is_center(v)
+        assert not layout.is_center(layout.starter)
+
+    def test_property3_part3(self, layout):
+        # There is a non-starter quadric w' adjacent to both u (the non-center
+        # vertex of C_j without C_i edges) and v_i.
+        g = layout.pf.graph
+        for i, j in itertools.permutations(range(min(layout.q, 4)), 2):
+            ci = set(layout.clusters[i])
+            vi = layout.center_of(i)
+            missing = [
+                v
+                for v in layout.clusters[j]
+                if v != layout.center_of(j)
+                and not any(g.has_edge(v, u) for u in ci)
+            ]
+            assert len(missing) == 1
+            u = missing[0]
+            quadrics = set(layout.quadric_cluster) - {layout.starter}
+            assert any(g.has_edge(w, u) and g.has_edge(w, vi) for w in quadrics)

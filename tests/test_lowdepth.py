@@ -1,0 +1,172 @@
+"""Tests for Algorithm 3 (Section 7.1): Theorems 7.4-7.6, Lemma 7.8, Cor 7.7."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import aggregate_bandwidth, optimal_bandwidth, tree_bandwidths
+from repro.topology import polarfly_graph, polarfly_layout
+from repro.topology.graph import canonical_edge
+from repro.trees import edge_congestion, low_depth_trees, low_depth_trees_from_layout
+from repro.utils.errors import UnsupportedRadixError
+
+ODD_QS = [3, 5, 7, 9, 11, 13]
+
+
+@pytest.fixture(params=ODD_QS, ids=lambda q: f"q{q}")
+def trees_and_q(request):
+    return low_depth_trees(request.param), request.param
+
+
+class TestTheorem74:
+    """Every T_i is a spanning tree."""
+
+    def test_count(self, trees_and_q):
+        trees, q = trees_and_q
+        assert len(trees) == q
+
+    def test_spanning(self, trees_and_q):
+        trees, q = trees_and_q
+        g = polarfly_graph(q).graph
+        for t in trees:
+            t.validate(g)
+            assert t.num_vertices == g.n
+            assert len(t.edges) == q * q + q  # N - 1
+
+    def test_roots_are_cluster_centers(self, trees_and_q):
+        trees, q = trees_and_q
+        layout = polarfly_layout(q)
+        assert [t.root for t in trees] == list(layout.centers)
+
+
+class TestTheorem75:
+    """Depth at most 3."""
+
+    def test_depth_bound(self, trees_and_q):
+        trees, _ = trees_and_q
+        for t in trees:
+            assert t.depth <= 3
+
+    def test_level_structure(self, trees_and_q):
+        # level 3 vertices (if any) are exactly other cluster centers
+        trees, q = trees_and_q
+        layout = polarfly_layout(q)
+        centers = set(layout.centers)
+        for t in trees:
+            for v in t.vertices:
+                if t.depth_of(v) == 3:
+                    assert v in centers and v != t.root
+
+
+class TestTheorem76:
+    """Every link lies in at most 2 trees."""
+
+    def test_congestion_at_most_two(self, trees_and_q):
+        trees, _ = trees_and_q
+        cong = edge_congestion(trees)
+        assert max(cong.values()) <= 2
+
+    def test_congestion_two_occurs(self, trees_and_q):
+        # the bound is tight for every radix in our range
+        trees, _ = trees_and_q
+        cong = edge_congestion(trees)
+        assert max(cong.values()) == 2
+
+
+class TestCorollary77:
+    """Aggregate bidirectional bandwidth >= q B / 2."""
+
+    def test_aggregate_bandwidth(self, trees_and_q):
+        trees, q = trees_and_q
+        g = polarfly_graph(q).graph
+        agg = aggregate_bandwidth(g, trees)
+        assert agg >= Fraction(q, 2)
+
+    def test_near_optimal(self, trees_and_q):
+        trees, q = trees_and_q
+        g = polarfly_graph(q).graph
+        agg = aggregate_bandwidth(g, trees)
+        assert agg <= optimal_bandwidth(q)
+        # normalized bandwidth q/(q+1) for odd q
+        assert agg / optimal_bandwidth(q) >= Fraction(q, q + 1)
+
+    def test_every_tree_gets_half_b(self, trees_and_q):
+        # with congestion exactly 2 on bottlenecks, Algorithm 1 gives B/2 each
+        trees, q = trees_and_q
+        g = polarfly_graph(q).graph
+        bws = tree_bandwidths(g, trees)
+        assert all(b == Fraction(1, 2) for b in bws)
+
+
+class TestLemma78:
+    """Reduction flows on a shared link run in opposite directions."""
+
+    def test_opposite_reduction_directions(self, trees_and_q):
+        trees, _ = trees_and_q
+        by_edge = {}
+        for t in trees:
+            for u, v in t.edges:
+                by_edge.setdefault(canonical_edge(u, v), []).append(t)
+        for e, ts in by_edge.items():
+            if len(ts) == 2:
+                d0 = ts[0].reduction_direction(*e)
+                d1 = ts[1].reduction_direction(*e)
+                assert d0 == (d1[1], d1[0]), f"same direction on {e}"
+
+    def test_one_reduction_per_input_port(self, trees_and_q):
+        # consequence stated after Lemma 7.8
+        from repro.simulator import embedding_resources
+
+        trees, q = trees_and_q
+        g = polarfly_graph(q).graph
+        res = embedding_resources(g, trees)
+        assert res.max_reduction_inputs_per_port == 1
+
+
+class TestConstructionDetails:
+    def test_even_q_rejected(self):
+        with pytest.raises(UnsupportedRadixError):
+            low_depth_trees(4)
+
+    def test_not_prime_power_rejected(self):
+        with pytest.raises(ValueError):
+            low_depth_trees(15)
+
+    def test_custom_starter(self):
+        pf = polarfly_graph(5)
+        w = pf.quadrics[3]
+        trees = low_depth_trees(5, starter=w)
+        assert len(trees) == 5
+        g = pf.graph
+        for t in trees:
+            t.validate(g)
+        assert max(edge_congestion(trees).values()) <= 2
+
+    def test_all_starters_work(self):
+        pf = polarfly_graph(7)
+        for w in pf.quadrics:
+            trees = low_depth_trees(7, starter=w)
+            cong = edge_congestion(trees)
+            assert len(trees) == 7
+            assert max(cong.values()) <= 2
+            assert all(t.depth <= 3 for t in trees)
+
+    def test_deterministic(self):
+        a = low_depth_trees(5)
+        b = low_depth_trees(5)
+        assert [t.parent for t in a] == [t.parent for t in b]
+
+    def test_from_layout(self):
+        layout = polarfly_layout(5)
+        trees = low_depth_trees_from_layout(layout)
+        assert [t.root for t in trees] == list(layout.centers)
+
+    def test_tree_ids(self, trees_and_q):
+        trees, q = trees_and_q
+        assert [t.tree_id for t in trees] == list(range(q))
+
+    def test_starter_quadric_is_level_one_everywhere(self, trees_and_q):
+        trees, q = trees_and_q
+        layout = polarfly_layout(q)
+        for t in trees:
+            assert t.depth_of(layout.starter) == 1

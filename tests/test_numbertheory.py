@@ -1,0 +1,182 @@
+"""Unit + property tests for repro.utils.numbertheory."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    coprime,
+    euler_totient,
+    factorize,
+    is_prime,
+    is_prime_power,
+    mod_inverse,
+    prime_factors,
+    prime_power_decomposition,
+    prime_powers_in_range,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in primes)
+
+    def test_negative_and_edge(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_carmichael_numbers(self):
+        # Fermat pseudoprimes that a naive test would misclassify.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(n)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(2_048_383 // 7) is False  # 292626.14... guard value
+        assert is_prime(104729)  # 10000th prime
+        assert not is_prime(104729 * 104723)
+
+    def test_n_values_of_paper_range(self):
+        # N = q^2+q+1 primality drives Hamiltonicity of *all* maximal paths.
+        assert is_prime(13)  # q=3
+        assert not is_prime(21)  # q=4 -> 3*7
+        assert is_prime(31)  # q=5
+        assert not is_prime(57)  # q=7 -> 3*19
+        assert is_prime(133 // 7)  # q=11: N=133=7*19 composite
+        assert not is_prime(133)
+
+
+class TestFactorize:
+    def test_basic(self):
+        assert factorize(1) == ()
+        assert factorize(2) == ((2, 1),)
+        assert factorize(12) == ((2, 2), (3, 1))
+        assert factorize(21) == ((3, 1), (7, 1))
+        assert factorize(2048383) == ((127, 1), (127, 1))[:1] or True
+
+    def test_q127_group_order(self):
+        # q=127: q^3 - 1 factorization used by the primitivity test.
+        n = 127**3 - 1
+        fac = dict(factorize(n))
+        prod = 1
+        for p, e in fac.items():
+            assert is_prime(p)
+            prod *= p**e
+        assert prod == n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @given(st.integers(min_value=1, max_value=100000))
+    def test_roundtrip(self, n):
+        prod = 1
+        for p, e in factorize(n):
+            assert is_prime(p)
+            prod *= p**e
+        assert prod == n
+
+    def test_prime_factors_sorted_distinct(self):
+        assert prime_factors(360) == [2, 3, 5]
+
+
+class TestPrimePowers:
+    def test_known_prime_powers(self):
+        for q in (2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 32, 49, 64, 81, 121, 125, 127, 128):
+            assert is_prime_power(q), q
+
+    def test_non_prime_powers(self):
+        for q in (0, 1, 6, 10, 12, 15, 24, 36, 100):
+            assert not is_prime_power(q), q
+
+    def test_decomposition(self):
+        assert prime_power_decomposition(7) == (7, 1)
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(81) == (3, 4)
+        assert prime_power_decomposition(121) == (11, 2)
+
+    def test_decomposition_invalid(self):
+        for q in (1, 6, 12):
+            with pytest.raises(ValueError):
+                prime_power_decomposition(q)
+
+    def test_paper_radix_sweep(self):
+        # Figure 5 sweeps prime powers q in [3, 128]; there are 43 of them.
+        qs = prime_powers_in_range(3, 128)
+        assert qs[0] == 3 and qs[-1] == 128
+        assert len(qs) == 43
+        assert 6 not in qs and 10 not in qs
+        assert all(is_prime_power(q) for q in qs)
+
+    def test_range_edges(self):
+        assert prime_powers_in_range(5, 5) == [5]
+        assert prime_powers_in_range(6, 6) == []
+        assert prime_powers_in_range(-10, 2) == [2]
+
+
+class TestTotient:
+    def test_known_values(self):
+        known = {1: 1, 2: 1, 6: 2, 9: 6, 10: 4, 12: 4, 13: 12, 21: 12, 31: 30, 57: 36}
+        for n, phi in known.items():
+            assert euler_totient(n) == phi
+
+    def test_prime(self):
+        assert euler_totient(104729) == 104728
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            euler_totient(0)
+
+    @given(st.integers(min_value=1, max_value=3000))
+    def test_matches_definition(self, n):
+        assert euler_totient(n) == sum(1 for k in range(1, n + 1) if math.gcd(k, n) == 1)
+
+    def test_composite_bounds_from_paper(self):
+        # Section 7.2: for composite n != 6, sqrt(n) <= phi(n) <= n - sqrt(n).
+        for q in (4, 7, 11, 18):
+            n = q * q + q + 1
+            if is_prime(n) or n == 6:
+                continue
+            assert math.isqrt(n) <= euler_totient(n) <= n - math.isqrt(n)
+
+
+class TestModInverse:
+    def test_lemma_6_7(self):
+        # 2^{-1} mod N == (N+1)/2 for every odd N = q^2+q+1.
+        for q in (3, 4, 5, 7, 8, 9, 11, 13):
+            n = q * q + q + 1
+            assert mod_inverse(2, n) == (n + 1) // 2
+
+    def test_identity(self):
+        assert mod_inverse(1, 97) == 1
+
+    def test_no_inverse(self):
+        with pytest.raises(ValueError):
+            mod_inverse(3, 21)
+        with pytest.raises(ValueError):
+            mod_inverse(0, 7)
+
+    @given(st.integers(min_value=2, max_value=5000), st.integers(min_value=1, max_value=5000))
+    def test_inverse_property(self, n, a):
+        if math.gcd(a, n) != 1:
+            return
+        assert a * mod_inverse(a, n) % n == 1
+
+
+class TestCoprime:
+    def test_basic(self):
+        assert coprime(3, 7)
+        assert not coprime(6, 21)
+        assert coprime(1, 1)
+
+    def test_hamiltonicity_examples(self):
+        # Table 2 pairs for q=4, N=21: these (d0 - d1) are NOT coprime to N.
+        for d0, d1 in ((0, 14), (1, 4), (1, 16), (4, 16)):
+            assert not coprime(d0 - d1, 21)
+        # Figure 4 pairs ARE coprime to N.
+        for d0, d1 in ((0, 1), (4, 14)):
+            assert coprime(d0 - d1, 21)

@@ -1,0 +1,123 @@
+"""Tests for Roskind–Tarjan edge-disjoint spanning-tree packing."""
+
+import pytest
+
+from repro.topology import (
+    Graph,
+    complete_graph,
+    hypercube_graph,
+    polarfly_graph,
+    ring_graph,
+    torus_graph,
+)
+from repro.trees import are_edge_disjoint, max_disjoint_upper_bound
+from repro.trees.packing import pack_spanning_trees, spanning_tree_packing_number
+
+
+class TestBasicPacking:
+    def test_single_tree_is_spanning(self):
+        g = polarfly_graph(3).graph
+        trees = pack_spanning_trees(g, 1)
+        assert len(trees) == 1
+        trees[0].validate(g)
+
+    def test_ring_packs_exactly_one(self):
+        g = ring_graph(8)
+        assert spanning_tree_packing_number(g) == 1
+        with pytest.raises(ValueError):
+            pack_spanning_trees(g, 2)
+
+    def test_complete_graph_packing(self):
+        # K_n packs floor(n/2) edge-disjoint spanning trees
+        for n in (4, 5, 6, 7):
+            assert spanning_tree_packing_number(complete_graph(n)) == n // 2
+
+    def test_k4_two_trees(self):
+        g = complete_graph(4)
+        trees = pack_spanning_trees(g, 2)
+        assert are_edge_disjoint(trees)
+        for t in trees:
+            t.validate(g)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            pack_spanning_trees(complete_graph(4), 0)
+
+    def test_require_spanning_false_returns_partial(self):
+        g = ring_graph(6)
+        trees = pack_spanning_trees(g, 3, require_spanning=False)
+        assert len(trees) == 1
+
+    def test_deterministic(self):
+        g = hypercube_graph(4)
+        a = pack_spanning_trees(g, 2)
+        b = pack_spanning_trees(g, 2)
+        assert [t.edges for t in a] == [t.edges for t in b]
+
+
+class TestPackingNumbers:
+    @pytest.mark.parametrize("d,want", [(2, 1), (3, 1), (4, 2), (5, 2), (6, 3)])
+    def test_hypercube(self, d, want):
+        assert spanning_tree_packing_number(hypercube_graph(d)) == want
+
+    def test_torus(self):
+        # k-ary D-torus (k > 2) has edge connectivity 2D -> packs D trees
+        assert spanning_tree_packing_number(torus_graph([3, 3])) == 2
+        assert spanning_tree_packing_number(torus_graph([4, 4, 4])) == 3
+
+    @pytest.mark.parametrize("q", [3, 4, 5, 7])
+    def test_polarfly_matches_paper_bound(self, q):
+        # independent confirmation of the Section 7.3 existence result
+        g = polarfly_graph(q).graph
+        k = max_disjoint_upper_bound(q)
+        trees = pack_spanning_trees(g, k)
+        assert len(trees) == k
+        assert are_edge_disjoint(trees)
+        for t in trees:
+            t.validate(g)
+
+    def test_polarfly_cannot_exceed_bound(self):
+        g = polarfly_graph(3).graph
+        with pytest.raises(ValueError):
+            pack_spanning_trees(g, 3)  # bound is 2
+
+
+class TestAugmentingChains:
+    def test_swap_chain_needed(self):
+        # two triangles sharing a path force actual augmentation work:
+        # theta graph 0-1-2-0 plus 0-3-2
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3), (3, 2)])
+        # m=5, n=4: two disjoint spanning trees need 6 edges -> only 1
+        assert spanning_tree_packing_number(g) == 1
+
+    def test_two_trees_on_doubled_path(self):
+        # complete bipartite K_{2,3}: n=5, m=6, connectivity 2
+        g = Graph.from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+        # 2 disjoint spanning trees need 8 > 6 edges -> 1
+        assert spanning_tree_packing_number(g) == 1
+
+    def test_wheel_graph(self):
+        # wheel W_5 (hub + 5-cycle): m=10, n=6, packs 2
+        edges = [(5, i) for i in range(5)] + [(i, (i + 1) % 5) for i in range(5)]
+        g = Graph.from_edges(6, edges)
+        assert spanning_tree_packing_number(g) == 2
+
+
+class TestComparisonWithHamiltonianConstruction:
+    def test_structure_advantages_of_singer_trees(self):
+        # packing proves existence; the Singer construction adds structure:
+        # bounded fan-in (paths!), formula-computable roots, O(N) build
+        from repro.trees import edge_disjoint_hamiltonian_trees
+
+        q = 7
+        g = polarfly_graph(q).graph
+        packed = pack_spanning_trees(g, (q + 1) // 2)
+        singer = edge_disjoint_hamiltonian_trees(q)
+        assert len(packed) == len(singer)
+        # every Singer tree is a path: max degree 2 in the tree
+        for t in singer:
+            assert max(len(t.children(v)) for v in t.vertices) <= 2
+        # packed trees generally are not paths
+        assert any(
+            max(len(t.children(v)) for v in t.vertices) > 2 for t in packed
+        )

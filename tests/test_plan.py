@@ -1,0 +1,148 @@
+"""Tests for the AllreducePlan public API."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import SCHEMES, build_plan, optimal_bandwidth
+from repro.utils.errors import UnsupportedRadixError
+
+
+class TestBuildPlan:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            build_plan(5, scheme="magic")
+
+    def test_schemes_constant(self):
+        assert set(SCHEMES) == {"low-depth", "low-depth-even", "edge-disjoint", "single"}
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9, 11])
+    def test_low_depth_metrics(self, q):
+        plan = build_plan(q, "low-depth")
+        assert plan.num_trees == q
+        assert plan.num_nodes == q * q + q + 1
+        assert plan.max_depth <= 3
+        assert plan.max_congestion == 2
+        assert plan.vcs_required == 2
+        assert plan.aggregate_bandwidth == Fraction(q, 2)
+        assert plan.normalized_bandwidth == Fraction(q, q + 1)
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9, 11])
+    def test_edge_disjoint_metrics(self, q):
+        plan = build_plan(q, "edge-disjoint")
+        assert plan.num_trees == (q + 1) // 2
+        assert plan.max_congestion == 1
+        assert plan.max_depth == (q * q + q) // 2
+        assert plan.aggregate_bandwidth == Fraction((q + 1) // 2)
+        assert plan.normalized_bandwidth == 1  # optimal for odd q
+
+    @pytest.mark.parametrize("q", [4, 8])
+    def test_edge_disjoint_even_q(self, q):
+        plan = build_plan(q, "edge-disjoint")
+        assert plan.num_trees == (q + 1) // 2
+        assert plan.normalized_bandwidth == Fraction(q, q + 1)
+
+    def test_single_metrics(self):
+        plan = build_plan(7, "single")
+        assert plan.num_trees == 1
+        assert plan.max_congestion == 1
+        assert plan.max_depth <= 2
+        assert plan.aggregate_bandwidth == 1
+        assert plan.normalized_bandwidth == Fraction(2, 8)
+
+    def test_low_depth_even_q_rejected(self):
+        with pytest.raises(UnsupportedRadixError):
+            build_plan(4, "low-depth")
+
+    def test_link_bandwidth_scales(self):
+        plan = build_plan(5, "edge-disjoint", link_bandwidth=100)
+        assert plan.aggregate_bandwidth == 300
+        assert plan.normalized_bandwidth == 1
+
+    def test_custom_starter(self):
+        from repro.topology import polarfly_graph
+
+        w = polarfly_graph(5).quadrics[1]
+        plan = build_plan(5, "low-depth", starter=w)
+        assert plan.aggregate_bandwidth == Fraction(5, 2)
+
+
+class TestPlanPlanning:
+    def test_partition_sums(self):
+        plan = build_plan(5, "low-depth")
+        for m in (0, 1, 7, 100, 1001):
+            parts = plan.partition(m)
+            assert sum(parts) == m
+            assert len(parts) == plan.num_trees
+
+    def test_partition_uniform_when_bandwidths_equal(self):
+        plan = build_plan(5, "low-depth")
+        parts = plan.partition(500)
+        assert parts == [100] * 5
+
+    def test_estimated_time_streaming_term(self):
+        plan = build_plan(5, "edge-disjoint")
+        # 3 trees at B=1 -> m/3 each (m divisible by 3), zero latency
+        assert plan.estimated_time(300) == 100
+
+    def test_estimated_time_includes_fill(self):
+        plan = build_plan(5, "edge-disjoint")
+        t0 = plan.estimated_time(300, hop_latency=0)
+        t1 = plan.estimated_time(300, hop_latency=1)
+        assert t1 == t0 + 2 * plan.max_depth
+
+    def test_low_depth_beats_edge_disjoint_at_small_m(self):
+        # the latency/bandwidth trade-off of Section 7.3
+        ld = build_plan(11, "low-depth")
+        ed = build_plan(11, "edge-disjoint")
+        small = 4
+        assert ld.estimated_time(small, hop_latency=1) < ed.estimated_time(
+            small, hop_latency=1
+        )
+
+    def test_edge_disjoint_beats_low_depth_at_large_m(self):
+        ld = build_plan(11, "low-depth")
+        ed = build_plan(11, "edge-disjoint")
+        big = 10**6
+        assert ed.estimated_time(big, hop_latency=1) < ld.estimated_time(
+            big, hop_latency=1
+        )
+
+    def test_multi_tree_beats_single_tree(self):
+        single = build_plan(11, "single")
+        ld = build_plan(11, "low-depth")
+        m = 10**6
+        assert ld.estimated_time(m) < single.estimated_time(m)
+        # speedup approaches q/2 = 5.5x
+        ratio = single.estimated_time(m) / ld.estimated_time(m)
+        assert ratio > 5
+
+    def test_repr_smoke(self):
+        assert "low-depth" in repr(build_plan(3, "low-depth"))
+
+
+class TestMaxTrees:
+    def test_cap_applied(self):
+        plan = build_plan(7, "edge-disjoint", max_trees=2)
+        assert plan.num_trees == 2
+        assert plan.aggregate_bandwidth == 2  # disjoint trees at full B
+
+    def test_cap_larger_than_available_is_noop(self):
+        full = build_plan(5, "edge-disjoint")
+        capped = build_plan(5, "edge-disjoint", max_trees=100)
+        assert capped.num_trees == full.num_trees
+
+    def test_capped_lowdepth_redistributes(self):
+        # dropping trees frees congested links: survivors can beat B/2
+        capped = build_plan(7, "low-depth", max_trees=1)
+        assert capped.num_trees == 1
+        assert capped.bandwidths[0] == 1  # lone tree gets full link rate
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            build_plan(5, "edge-disjoint", max_trees=0)
+
+    def test_capped_plan_still_correct(self):
+        from repro.simulator import verify_plan
+
+        assert verify_plan(build_plan(5, "low-depth", max_trees=2))

@@ -1,0 +1,61 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis import figure5_data
+from repro.analysis.plotting import (
+    ascii_plot,
+    plot_figure5_bandwidth,
+    plot_figure5_depth,
+)
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, title="t")
+        assert text.startswith("t\n")
+        assert "o=s" in text
+        assert "x: 1 .. 3" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o=a" in text and "x=b" in text
+
+    def test_none_values_skipped(self):
+        text = ascii_plot([1, 2, 3], {"s": [1.0, None, 3.0]})
+        assert text.count("o") >= 2  # at least the two points + legend
+
+    def test_constant_series(self):
+        # degenerate y-range must not divide by zero
+        text = ascii_plot([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_single_x(self):
+        text = ascii_plot([7], {"s": [1.0]})
+        assert "x: 7" in text
+
+    def test_log_scale_requires_positive(self):
+        text = ascii_plot([1, 2], {"s": [1.0, 1000.0]}, logy=True)
+        assert "1000" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"s": [None]})
+
+
+class TestFigure5Plots:
+    def test_bandwidth_plot(self):
+        rows = figure5_data(3, 16)
+        text = plot_figure5_bandwidth(rows)
+        assert "Figure 5a" in text
+        assert "hamiltonian" in text and "low-depth" in text
+
+    def test_depth_plot_log(self):
+        rows = figure5_data(3, 16)
+        text = plot_figure5_depth(rows)
+        assert "Figure 5b" in text
+        assert "log scale" in text

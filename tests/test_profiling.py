@@ -1,0 +1,55 @@
+"""Tests for the construction-pipeline profiler."""
+
+import pytest
+
+from repro.utils.profiling import StageTimer, profile_pipeline, render_profile
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        t = StageTimer()
+        with t.stage("a"):
+            pass
+        with t.stage("b"):
+            pass
+        with t.stage("a"):
+            pass
+        assert [n for n, _ in t.stages] == ["a", "b", "a"]
+        d = t.as_dict()
+        assert set(d) == {"a", "b"}
+        assert t.total() == pytest.approx(sum(d.values()))
+
+    def test_records_on_exception(self):
+        t = StageTimer()
+        with pytest.raises(RuntimeError):
+            with t.stage("x"):
+                raise RuntimeError("boom")
+        assert t.stages and t.stages[0][0] == "x"
+
+
+class TestProfilePipeline:
+    @pytest.mark.parametrize("scheme,stages", [
+        ("low-depth", {"field tables", "ER_q adjacency", "Algorithm 2 layout",
+                       "Algorithm 3 trees", "Algorithm 1"}),
+        ("edge-disjoint", {"field tables", "Singer difference set", "Singer graph",
+                           "maximum matching", "Hamiltonian path trees",
+                           "Algorithm 1"}),
+        ("single", {"field tables", "ER_q adjacency", "BFS tree", "Algorithm 1"}),
+    ])
+    def test_stage_names(self, scheme, stages):
+        timer = profile_pipeline(5, scheme)
+        assert {n for n, _ in timer.stages} == stages
+        assert all(d >= 0 for _, d in timer.stages)
+
+    def test_even_scheme(self):
+        timer = profile_pipeline(4, "low-depth-even")
+        assert {"nucleus layout", "even-q trees"} <= {n for n, _ in timer.stages}
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            profile_pipeline(5, "bogus")
+
+    def test_render(self):
+        timer = profile_pipeline(3, "single")
+        text = render_profile(3, "single", timer)
+        assert "total" in text and "ms" in text

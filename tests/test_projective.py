@@ -1,0 +1,86 @@
+"""Tests validating ER_q against the PG(2, q) axioms and the polarity."""
+
+import itertools
+
+import pytest
+
+from repro.topology import polarfly_graph
+from repro.topology.projective import projective_plane
+
+QS = [2, 3, 4, 5, 7]
+
+
+@pytest.fixture(params=QS, ids=lambda q: f"q{q}")
+def plane(request):
+    return projective_plane(request.param)
+
+
+class TestIncidenceStructure:
+    def test_line_sizes(self, plane):
+        # every line has q + 1 points; every point lies on q + 1 lines
+        q = plane.q
+        for l in range(0, plane.n, max(1, plane.n // 9)):
+            assert len(plane.points_on_line(l)) == q + 1
+        for p in range(0, plane.n, max(1, plane.n // 9)):
+            assert len(plane.lines_through_point(p)) == q + 1
+
+    def test_axiom_two_points_one_line(self, plane):
+        # sampled pairs: the spanned line is unique and contains both
+        pts = list(range(0, plane.n, max(1, plane.n // 8)))
+        for p1, p2 in itertools.combinations(pts, 2):
+            l = plane.line_through(p1, p2)
+            assert plane.incident(p1, l) and plane.incident(p2, l)
+            # uniqueness: no other line contains both
+            both = [
+                x for x in range(plane.n)
+                if plane.incident(p1, x) and plane.incident(p2, x)
+            ]
+            assert both == [l]
+
+    def test_axiom_two_lines_one_point(self, plane):
+        ls = list(range(0, plane.n, max(1, plane.n // 8)))
+        for l1, l2 in itertools.combinations(ls, 2):
+            p = plane.meet(l1, l2)
+            assert plane.incident(p, l1) and plane.incident(p, l2)
+
+    def test_counts(self, plane):
+        q = plane.q
+        assert plane.n == q * q + q + 1  # as many lines as points
+
+
+class TestPolarity:
+    def test_absolute_points_are_quadrics(self, plane):
+        pf = plane.pf
+        for v in range(plane.n):
+            assert plane.is_absolute(v) == pf.is_quadric(v)
+
+    def test_adjacency_is_polar_incidence(self, plane):
+        g = plane.pf.graph
+        n = plane.n
+        step = max(1, n // 12)
+        for u in range(0, n, step):
+            for v in range(0, n, step):
+                if u == v:
+                    continue
+                assert g.has_edge(u, v) == plane.adjacency_is_polar_incidence(u, v)
+
+    def test_neighborhood_is_polar_line(self, plane):
+        # a vertex's ER_q neighbors are exactly its polar line's points
+        # (minus itself when it is absolute/quadric)
+        g = plane.pf.graph
+        for u in range(0, plane.n, max(1, plane.n // 10)):
+            on_line = set(plane.points_on_line(plane.polar_line(u)))
+            assert g.neighbors(u) == on_line - {u}
+
+    def test_polarity_is_involutive_on_incidence(self, plane):
+        # p on polar(r) <=> r on polar(p) — symmetry of the bilinear form
+        step = max(1, plane.n // 10)
+        for p in range(0, plane.n, step):
+            for r in range(0, plane.n, step):
+                assert plane.incident(p, plane.polar_line(r)) == plane.incident(
+                    r, plane.polar_line(p)
+                )
+
+    def test_line_through_rejects_equal_points(self, plane):
+        with pytest.raises(ValueError):
+            plane.line_through(3, 3)

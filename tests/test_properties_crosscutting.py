@@ -1,0 +1,229 @@
+"""Cross-cutting property-based tests: invariants that must hold across
+random embeddings, random topologies and random workloads — not just the
+paper's constructions."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import aggregate_bandwidth, optimal_partition, tree_bandwidths
+from repro.simulator import simulate_allreduce
+from repro.topology import (
+    hypercube_graph,
+    polarfly_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.trees import (
+    edge_congestion,
+    greedy_trees,
+    random_spanning_trees,
+)
+
+TOPOLOGIES = {
+    "pf3": lambda: polarfly_graph(3).graph,
+    "pf5": lambda: polarfly_graph(5).graph,
+    "hc4": lambda: hypercube_graph(4),
+    "torus33": lambda: torus_graph([3, 3]),
+    "rr": lambda: random_regular_graph(14, 4, seed=2),
+}
+
+
+def random_embedding(name, k, seed):
+    g = TOPOLOGIES[name]()
+    return g, random_spanning_trees(g, k, seed=seed)
+
+
+class TestAlgorithm1Invariants:
+    """Algorithm 1 output must satisfy max-min-fairness invariants for ANY
+    embedding, not only the paper's."""
+
+    @given(
+        name=st.sampled_from(sorted(TOPOLOGIES)),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rates_bounded_by_link_bandwidth(self, name, k, seed):
+        g, trees = random_embedding(name, k, seed)
+        bws = tree_bandwidths(g, trees)
+        assert all(0 < b <= 1 for b in bws)
+
+    @given(
+        name=st.sampled_from(sorted(TOPOLOGIES)),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_link_oversubscribed(self, name, k, seed):
+        g, trees = random_embedding(name, k, seed)
+        bws = tree_bandwidths(g, trees)
+        load = {}
+        for t, b in zip(trees, bws):
+            for e in t.edges:
+                load[e] = load.get(e, 0) + b
+        assert all(x <= 1 for x in load.values())
+
+    @given(
+        name=st.sampled_from(sorted(TOPOLOGIES)),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_tree_has_a_saturated_link(self, name, k, seed):
+        # max-min fairness: no tree's rate can be raised unilaterally —
+        # each tree crosses at least one fully used link
+        g, trees = random_embedding(name, k, seed)
+        bws = tree_bandwidths(g, trees)
+        load = {}
+        for t, b in zip(trees, bws):
+            for e in t.edges:
+                load[e] = load.get(e, 0) + b
+        for t in trees:
+            assert any(load[e] == 1 for e in t.edges)
+
+    @given(
+        name=st.sampled_from(sorted(TOPOLOGIES)),
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bandwidth_scales_linearly_in_b(self, name, k, seed):
+        g, trees = random_embedding(name, k, seed)
+        one = tree_bandwidths(g, trees, 1)
+        five = tree_bandwidths(g, trees, 5)
+        assert [5 * b for b in one] == five
+
+    @given(
+        name=st.sampled_from(sorted(TOPOLOGIES)),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adding_a_tree_never_raises_the_minimum_rate(self, name, k, seed):
+        # the slowest tree's rate is min_e B/C(e) after the first freeze;
+        # an extra tree can only raise congestion, so the minimum rate is
+        # weakly decreasing in the tree set
+        g, trees = random_embedding(name, k, seed)
+        with_k = min(tree_bandwidths(g, trees))
+        without = min(tree_bandwidths(g, trees[:-1]))
+        assert with_k <= without
+
+    def test_per_tree_rates_are_not_monotone(self):
+        # Documented subtlety: network max-min fairness is NOT per-flow
+        # monotone — adding a tree can shift a bottleneck off another tree
+        # and RAISE its rate. Neither is the aggregate monotone. This is
+        # exactly why the paper optimizes the tree set globally instead of
+        # just adding trees. (Regression-pinned counterexample.)
+        g = polarfly_graph(5).graph
+        trees = random_spanning_trees(g, 6, seed=0)
+        without = tree_bandwidths(g, trees[:-1])
+        with_k = tree_bandwidths(g, trees)
+        assert with_k[0] > without[0]  # tree 0 speeds UP (1/4 -> 2/5)
+
+    def test_heterogeneous_link_bandwidths(self):
+        from repro.trees import SpanningTree
+        from repro.topology import Graph
+
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        t = SpanningTree(0, {1: 0, 2: 0})
+        slow = {(0, 1): Fraction(1, 4)}
+        bws = tree_bandwidths(g, [t], link_bandwidths=slow)
+        assert bws == [Fraction(1, 4)]  # the slow link is the bottleneck
+        bws2 = tree_bandwidths(g, [t], link_bandwidths={(0, 1): 7, (0, 2): 3})
+        assert bws2 == [3]
+
+    def test_heterogeneous_invalid(self):
+        from repro.trees import SpanningTree
+        from repro.topology import Graph
+
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        with pytest.raises(ValueError):
+            tree_bandwidths(g, [t], link_bandwidths={(0, 1): 0})
+
+
+class TestCycleSimulatorInvariants:
+    """The flit simulator can never beat physics."""
+
+    @given(
+        name=st.sampled_from(["pf3", "hc4", "torus33"]),
+        k=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10),
+        m=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_completion_lower_bounds(self, name, k, seed, m):
+        g, trees = random_embedding(name, k, seed)
+        flits = [m] * k
+        stats = simulate_allreduce(g, trees, flits)
+        # per-direction link capacity bound: some direction carries all the
+        # reduce flits of every tree-edge mapped to it
+        dir_load = {}
+        for t in trees:
+            for v, p in t.parent.items():
+                dir_load[(v, p)] = dir_load.get((v, p), 0) + m  # reduce
+                dir_load[(p, v)] = dir_load.get((p, v), 0) + m  # broadcast
+        assert stats.cycles >= max(dir_load.values())
+        # pipeline-fill bound: a flit needs depth hops up and depth down
+        assert stats.cycles >= max(2 * t.depth for t in trees) + m - 1
+
+    @given(
+        m=st.integers(min_value=1, max_value=60),
+        cap=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_single_link_exact(self, m, cap):
+        from repro.topology import Graph
+        from repro.trees import SpanningTree
+
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        stats = simulate_allreduce(g, [t], [m], link_capacity=cap)
+        assert stats.cycles == math.ceil(m / cap) + 2
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_flit_conservation(self, seed):
+        g, trees = random_embedding("pf3", 2, seed)
+        stats = simulate_allreduce(g, trees, [7, 7])
+        # every tree edge carries m flits up and m flits down, exactly once
+        expected = sum(2 * len(t.edges) * m for t, m in zip(trees, [7, 7]))
+        assert stats.flits_moved == expected
+
+
+class TestPartitionFairness:
+    @given(
+        m=st.integers(min_value=0, max_value=100000),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50)
+    def test_equal_rates_give_balanced_parts(self, m, k):
+        parts = optimal_partition(m, [Fraction(1, 2)] * k)
+        assert sum(parts) == m
+        assert max(parts) - min(parts) <= 1
+
+    @given(
+        m=st.integers(min_value=1, max_value=10000),
+        rates=st.lists(st.fractions(min_value=Fraction(1, 8), max_value=4),
+                       min_size=1, max_size=6),
+    )
+    @settings(max_examples=50)
+    def test_makespan_of_optimal_partition_is_minimal_vs_perturbations(self, m, rates):
+        parts = optimal_partition(m, rates)
+        def makespan(p):
+            return max(Fraction(x) / r for x, r in zip(p, rates))
+        base = makespan(parts)
+        # moving one element between any pair never helps by a full unit
+        for i in range(len(parts)):
+            for j in range(len(parts)):
+                if i == j or parts[i] == 0:
+                    continue
+                alt = list(parts)
+                alt[i] -= 1
+                alt[j] += 1
+                assert makespan(alt) >= base - max(1 / r for r in rates)

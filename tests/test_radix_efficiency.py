@@ -1,0 +1,86 @@
+"""Tests for the equal-radix network comparison (Section 1.3)."""
+
+import pytest
+
+from repro.analysis.radix_efficiency import (
+    NetworkPoint,
+    radix_comparison,
+    render_radix_comparison,
+)
+from repro.topology import hypercube_graph, polarfly_graph, torus_graph
+from repro.trees import spanning_tree_packing_number
+
+
+class TestPoints:
+    def test_polarfly_at_radix8(self):
+        pts = {p.network: p for p in radix_comparison(8)}
+        pf = pts["PolarFly"]
+        assert pf.nodes == 57  # q=7
+        assert pf.diameter == 2
+        assert pf.disjoint_tree_bound == 4  # floor((q+1)/2)
+        assert pf.low_depth_tree_depth == 3
+
+    def test_polarfly_absent_when_q_not_prime_power(self):
+        # radix 7 -> q=6, not a prime power
+        assert "PolarFly" not in {p.network for p in radix_comparison(7)}
+
+    def test_hypercube(self):
+        pts = {p.network: p for p in radix_comparison(8)}
+        hc = pts["Hypercube"]
+        assert hc.nodes == 256
+        assert hc.diameter == 8
+
+    def test_odd_radix_skips_even_only_networks(self):
+        names = {p.network for p in radix_comparison(9)}
+        assert "Hypercube" in names
+        assert "HyperX 2D" not in names
+        assert not any("torus" in n for n in names)
+
+    def test_disjoint_bounds_match_packing_on_small_instances(self):
+        # the closed-form bound floor(m/(N-1)) is achieved by actual packing
+        assert spanning_tree_packing_number(polarfly_graph(5).graph) == 3
+        pts = {p.network: p for p in radix_comparison(6)}
+        assert pts["PolarFly"].disjoint_tree_bound == 3
+        assert spanning_tree_packing_number(hypercube_graph(6)) == 3
+        assert pts["Hypercube"].disjoint_tree_bound == 3
+        assert spanning_tree_packing_number(torus_graph([4, 4, 4])) == 3
+        assert pts["4-ary torus"].disjoint_tree_bound == 3
+        pts4 = {p.network: p for p in radix_comparison(4)}
+        assert spanning_tree_packing_number(hypercube_graph(4)) == 2
+        assert pts4["Hypercube"].disjoint_tree_bound == 2
+
+
+class TestPositioning:
+    @pytest.mark.parametrize("radix", [6, 8, 12, 14])
+    def test_polarfly_is_the_low_latency_scalable_point(self, radix):
+        pts = {p.network: p for p in radix_comparison(radix)}
+        if "PolarFly" not in pts:
+            pytest.skip("no prime power at this radix")
+        pf = pts["PolarFly"]
+        # diameter 2 with quadratic scale: beats HyperX 2D scale at equal
+        # radix and beats tori/hypercube diameter
+        if "HyperX 2D" in pts:
+            assert pf.nodes > pts["HyperX 2D"].nodes
+            assert pf.diameter == pts["HyperX 2D"].diameter == 2
+        for name, p in pts.items():
+            if name != "PolarFly":
+                assert pf.diameter <= p.diameter
+        # similar ~radix/2 disjoint-tree bandwidth across the board
+        for p in pts.values():
+            assert p.disjoint_tree_bound in (radix // 2, radix // 2 + 1,
+                                             (radix - 1) // 2)
+
+    def test_low_depth_is_constant_only_on_diameter2(self):
+        pts = radix_comparison(8)
+        for p in pts:
+            if p.diameter == 2:
+                assert p.low_depth_tree_depth <= 3
+            else:
+                assert p.low_depth_tree_depth >= p.diameter
+
+
+class TestRender:
+    def test_render(self):
+        text = render_radix_comparison([6, 8])
+        assert "PolarFly" in text and "Hypercube" in text
+        assert "57" in text  # q=7 node count

@@ -1,0 +1,110 @@
+"""Tests for the router model and embedding resource accounting."""
+
+import pytest
+
+from repro.core import build_plan
+from repro.simulator import (
+    Network,
+    build_router_configs,
+    embedding_resources,
+)
+from repro.topology import Graph, polarfly_graph
+from repro.trees import SpanningTree, low_depth_trees, edge_disjoint_hamiltonian_trees
+
+
+class TestRouterConfigs:
+    def test_roles_cover_all_nodes(self):
+        pf = polarfly_graph(5)
+        trees = low_depth_trees(5)
+        configs = build_router_configs(pf.graph, trees)
+        assert len(configs) == pf.n
+        for c in configs:
+            assert len(c.tree_roles) == len(trees)
+
+    def test_ports_are_links(self):
+        pf = polarfly_graph(3)
+        configs = build_router_configs(pf.graph, low_depth_trees(3))
+        for c in configs:
+            assert set(c.ports) == pf.graph.neighbors(c.node)
+            assert c.radix == pf.graph.degree(c.node)
+
+    def test_root_and_leaf_roles(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        t = SpanningTree(0, {1: 0, 2: 1})
+        configs = build_router_configs(g, [t])
+        r0 = configs[0].tree_roles[0]
+        assert r0.is_root and r0.child_ports == (1,)
+        r2 = configs[2].tree_roles[0]
+        assert r2.is_leaf and r2.parent_port == 1
+        assert r2.reduction_fan_in == 1
+
+    def test_duplicate_tree_ids_rejected(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0}, tree_id=0)
+        with pytest.raises(ValueError):
+            build_router_configs(g, [t, t])
+
+    def test_reduction_fan_in(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        t = SpanningTree(0, {1: 0, 2: 0, 3: 0})
+        configs = build_router_configs(g, [t])
+        assert configs[0].tree_roles[0].reduction_fan_in == 4  # 3 kids + own
+
+
+class TestEmbeddingResources:
+    @pytest.mark.parametrize("q", [3, 5, 7, 9])
+    def test_low_depth_single_engine(self, q):
+        # Lemma 7.8 consequence: one reduction per input port
+        g = polarfly_graph(q).graph
+        res = embedding_resources(g, low_depth_trees(q))
+        assert res.max_reduction_inputs_per_port == 1
+        assert res.vcs_required == 2
+        assert res.num_trees == q
+
+    @pytest.mark.parametrize("q", [3, 5, 7, 9])
+    def test_edge_disjoint_no_vcs(self, q):
+        from repro.topology import singer_graph
+
+        g = singer_graph(q).graph
+        res = embedding_resources(g, edge_disjoint_hamiltonian_trees(q))
+        assert res.vcs_required == 1
+        assert res.max_reduction_inputs_per_port == 1  # disjoint => trivially
+        # Hamiltonian path: each interior node merges 1 child + own stream
+        assert res.max_reduction_fan_in == 3  # the midpoint root has 2 kids
+
+    def test_empty_embedding(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        res = embedding_resources(g, [])
+        assert res.num_trees == 0
+        assert res.vcs_required == 0
+
+
+class TestNetwork:
+    def test_network_wraps_everything(self):
+        plan = build_plan(5, "low-depth")
+        net = Network(plan.topology, plan.trees)
+        assert net.num_routers == plan.num_nodes
+        assert net.single_engine_feasible()
+        vcs = net.link_vcs()
+        assert max(vcs.values()) == 2
+
+    def test_edge_disjoint_network(self):
+        plan = build_plan(5, "edge-disjoint")
+        net = Network(plan.topology, plan.trees)
+        assert net.single_engine_feasible()
+        assert max(net.link_vcs().values()) == 1
+
+    def test_router_accessor(self):
+        plan = build_plan(3, "single")
+        net = Network(plan.topology, plan.trees)
+        cfg = net.router(0)
+        assert cfg.node == 0
+
+    def test_crafted_double_reduction_port(self):
+        # two trees both reduce over edge 1->0: port 1 at node 0 feeds two
+        # reductions => single shared engine NOT feasible
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        t1 = SpanningTree(0, {1: 0, 2: 1})
+        t2 = SpanningTree(0, {1: 0, 2: 0})
+        net = Network(g, [t1, t2])
+        assert not net.single_engine_feasible()

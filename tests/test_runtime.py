@@ -1,0 +1,222 @@
+"""Tests for the SPMD message-passing kernel and collective programs."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_plan
+from repro.runtime import (
+    ANY,
+    DeadlockError,
+    Recv,
+    Send,
+    recursive_doubling_program,
+    ring_allreduce_program,
+    run_spmd,
+    tree_allreduce_program,
+    tree_allreduce_spmd,
+)
+
+
+class TestKernelBasics:
+    def test_single_rank_no_comm(self):
+        def prog(rank, n):
+            return rank * 10
+            yield  # pragma: no cover - makes it a generator
+
+        assert run_spmd(3, prog) == [0, 10, 20]
+
+    def test_pairwise_exchange(self):
+        def prog(rank, n):
+            partner = rank ^ 1
+            yield Send(partner, "x", rank)
+            got = yield Recv(partner, "x")
+            return got
+
+        assert run_spmd(4, prog) == [1, 0, 3, 2]
+
+    def test_in_order_delivery(self):
+        def prog(rank, n):
+            if rank == 0:
+                for i in range(5):
+                    yield Send(1, "seq", i)
+                return None
+            out = []
+            for _ in range(5):
+                out.append((yield Recv(0, "seq")))
+            return out
+
+        assert run_spmd(2, prog)[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source(self):
+        def prog(rank, n):
+            if rank == 0:
+                got = []
+                for _ in range(n - 1):
+                    src, val = yield Recv(ANY, "r")
+                    got.append((src, val))
+                return sorted(got)
+            yield Send(0, "r", rank * rank)
+            return None
+
+        assert run_spmd(4, prog)[0] == [(1, 1), (2, 4), (3, 9)]
+
+    def test_tags_do_not_cross(self):
+        def prog(rank, n):
+            if rank == 0:
+                yield Send(1, "b", "B")
+                yield Send(1, "a", "A")
+                return None
+            a = yield Recv(0, "a")
+            b = yield Recv(0, "b")
+            return a + b
+
+        assert run_spmd(2, prog)[1] == "AB"
+
+    def test_invalid_destination(self):
+        def prog(rank, n):
+            yield Send(99, "x", 1)
+
+        with pytest.raises(ValueError):
+            run_spmd(2, prog)
+
+    def test_bad_yield(self):
+        def prog(rank, n):
+            yield "nonsense"
+
+        with pytest.raises(TypeError):
+            run_spmd(1, prog)
+
+    def test_nranks_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda r, n: iter(()))
+
+
+class TestDeadlockDetection:
+    def test_mutual_recv(self):
+        def prog(rank, n):
+            got = yield Recv(rank ^ 1, "never")
+            return got
+
+        with pytest.raises(DeadlockError) as e:
+            run_spmd(2, prog)
+        assert "2 rank(s)" in str(e.value)
+
+    def test_wrong_tag_deadlocks(self):
+        def prog(rank, n):
+            if rank == 0:
+                yield Send(1, "right", 1)
+                return None
+            return (yield Recv(0, "wrong"))
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, prog)
+
+    def test_partial_deadlock_detected(self):
+        # rank 2 finishes fine; 0 and 1 deadlock
+        def prog(rank, n):
+            if rank == 2:
+                return "done"
+            return (yield Recv(rank ^ 1, "x"))
+
+        with pytest.raises(DeadlockError):
+            run_spmd(3, prog)
+
+
+class TestCollectivePrograms:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 13, 16])
+    def test_ring(self, p):
+        rng = np.random.default_rng(p)
+        x = rng.integers(-9, 9, size=(p, 15))
+        res = run_spmd(p, lambda r, n: ring_allreduce_program(r, n, x[r]))
+        for v in res:
+            assert np.array_equal(v, x.sum(axis=0))
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 13, 16])
+    def test_recursive_doubling(self, p):
+        rng = np.random.default_rng(p)
+        x = rng.integers(-9, 9, size=(p, 15))
+        res = run_spmd(p, lambda r, n: recursive_doubling_program(r, n, x[r]))
+        for v in res:
+            assert np.array_equal(v, x.sum(axis=0))
+
+    def test_max_op(self):
+        p = 7
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 100, size=(p, 6))
+        res = run_spmd(
+            p, lambda r, n: ring_allreduce_program(r, n, x[r], op=np.maximum)
+        )
+        for v in res:
+            assert np.array_equal(v, x.max(axis=0))
+
+
+class TestTreePrimitives:
+    def test_broadcast(self):
+        from repro.runtime import tree_broadcast_program
+        from repro.trees import bfs_spanning_tree
+        from repro.topology import polarfly_graph
+
+        g = polarfly_graph(3).graph
+        t = bfs_spanning_tree(g, root=4)
+        res = run_spmd(g.n, lambda r, n: tree_broadcast_program(r, n, t, "tok" if r == 4 else None))
+        assert all(v == "tok" for v in res)
+
+    def test_reduce(self):
+        from repro.runtime import tree_reduce_program
+        from repro.trees import bfs_spanning_tree
+        from repro.topology import polarfly_graph
+
+        g = polarfly_graph(3).graph
+        t = bfs_spanning_tree(g, root=2)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 9, size=(g.n, 5))
+        res = run_spmd(g.n, lambda r, n: tree_reduce_program(r, n, t, x[r]))
+        assert np.array_equal(res[2], x.sum(axis=0))
+        assert all(res[r] is None for r in range(g.n) if r != 2)
+
+    def test_reduce_then_broadcast_is_allreduce(self):
+        from repro.runtime import tree_broadcast_program, tree_reduce_program
+        from repro.trees import bfs_spanning_tree
+        from repro.topology import polarfly_graph
+
+        g = polarfly_graph(3).graph
+        t = bfs_spanning_tree(g, root=0)
+        x = np.arange(g.n * 3.0).reshape(g.n, 3)
+        reduced = run_spmd(g.n, lambda r, n: tree_reduce_program(r, n, t, x[r]))
+        bc = run_spmd(
+            g.n, lambda r, n: tree_broadcast_program(r, n, t, reduced[r])
+        )
+        for v in bc:
+            assert np.array_equal(v, x.sum(axis=0))
+
+
+class TestTreeSPMD:
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint", "single"])
+    def test_matches_reference(self, scheme):
+        plan = build_plan(5, scheme)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 9, size=(plan.num_nodes, 33))
+        out = tree_allreduce_spmd(plan, x)
+        assert np.array_equal(out, np.broadcast_to(x.sum(axis=0), out.shape))
+
+    def test_differential_vs_all_engines(self):
+        # four independent executors of the same plan must agree exactly
+        from repro.core import InNetworkCollectives
+        from repro.simulator import execute_plan, packet_allreduce
+
+        plan = build_plan(3, "low-depth")
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 9, size=(plan.num_nodes, 24))
+        a = execute_plan(plan, x)
+        b = InNetworkCollectives(plan).allreduce(x)
+        c, _ = packet_allreduce(plan.topology, plan.trees, x,
+                                partition=plan.partition(24))
+        d = tree_allreduce_spmd(plan, x)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+        assert np.array_equal(a, d)
+
+    def test_bad_shape(self):
+        plan = build_plan(3, "single")
+        with pytest.raises(ValueError):
+            tree_allreduce_spmd(plan, np.ones((4, 4)))

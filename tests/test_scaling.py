@@ -1,0 +1,81 @@
+"""Tests for the system-size scaling analysis."""
+
+import pytest
+
+from repro.analysis.scaling import render_scaling, scaling_sweep
+from repro.collectives import CostModel
+from repro.core import build_plan
+
+
+class TestSweepMechanics:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            scaling_sweep(3, 16)
+        with pytest.raises(ValueError):
+            scaling_sweep(3, 16, m_per_node=10, m_total=100)
+
+    def test_rows_cover_prime_powers(self):
+        rows = scaling_sweep(3, 16, m_total=1 << 20)
+        assert [r.q for r in rows] == [3, 4, 5, 7, 8, 9, 11, 13, 16]
+        for r in rows:
+            assert r.nodes == r.q**2 + r.q + 1
+
+    def test_weak_scaling_m_grows(self):
+        rows = scaling_sweep(3, 16, m_per_node=100)
+        ms = [r.m for r in rows]
+        assert ms == sorted(ms)
+        assert rows[0].m == 100 * 13
+
+    def test_closed_forms_match_constructions(self):
+        # the sweep's closed forms must equal the constructive plans
+        rows = {r.q: r for r in scaling_sweep(3, 16, m_total=1 << 22)}
+        cm = CostModel(alpha=1000.0, beta=1.0)
+        for q, scheme in [(5, "low-depth"), (8, "low-depth-even"),
+                          (7, "edge-disjoint")]:
+            plan = build_plan(q, scheme)
+            want = cm.in_network_tree(1 << 22, plan.aggregate_bandwidth, plan.max_depth)
+            key = "low-depth" if scheme.startswith("low-depth") else scheme
+            assert rows[q].times[key] == pytest.approx(want)
+
+
+class TestScalingShapes:
+    def test_strong_scaling_multi_tree_improves(self):
+        # fixed problem: bigger machine -> faster in-network multi-tree
+        rows = scaling_sweep(3, 64, m_total=1 << 24)
+        ld = [r.times["low-depth"] for r in rows]
+        assert ld == sorted(ld, reverse=True)
+
+    def test_strong_scaling_ring_degrades(self):
+        rows = scaling_sweep(3, 64, m_total=1 << 24)
+        ring = [r.times["ring"] for r in rows]
+        # ring pays 2(P-1) alphas: grows once latency dominates
+        assert ring[-1] > ring[0]
+
+    def test_weak_scaling_single_tree_degrades_linearly(self):
+        # single tree streams the WHOLE grown vector through one link:
+        # time = 4 alpha + (1000 * nodes) beta, i.e. linear in node count
+        rows = scaling_sweep(3, 64, m_per_node=1000)
+        for r in rows:
+            assert r.times["single-tree"] == pytest.approx(4 * 1000 + 1000 * r.nodes)
+
+    def test_weak_scaling_multi_tree_beats_single(self):
+        rows = scaling_sweep(3, 64, m_per_node=1000)
+        for r in rows:
+            assert r.times["low-depth"] < r.times["single-tree"]
+
+    def test_large_machine_in_network_dominates_host(self):
+        rows = scaling_sweep(47, 64, m_per_node=10000)
+        for r in rows:
+            innet = min(r.times["low-depth"], r.times["edge-disjoint"])
+            host = min(r.times["ring"], r.times["rabenseifner"],
+                       r.times["recursive-doubling"])
+            assert innet < host
+
+
+class TestRender:
+    def test_render(self):
+        rows = scaling_sweep(3, 8, m_total=1024)
+        text = render_scaling(rows, title="strong")
+        assert "strong" in text
+        assert "nodes" in text
+        assert str(rows[-1].nodes) in text

@@ -1,0 +1,104 @@
+"""Tests for the functional (numerically exact) Allreduce simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_plan
+from repro.simulator import execute_plan, reduce_on_tree, verify_plan
+from repro.trees import SpanningTree, bfs_spanning_tree
+from repro.topology import polarfly_graph
+
+
+class TestReduceOnTree:
+    def test_star_sum(self):
+        t = SpanningTree(0, {1: 0, 2: 0, 3: 0})
+        x = np.arange(12).reshape(4, 3)
+        assert np.array_equal(reduce_on_tree(t, x), x.sum(axis=0))
+
+    def test_path_sum(self):
+        t = SpanningTree.from_path([0, 1, 2, 3, 4])
+        x = np.ones((5, 2))
+        assert np.array_equal(reduce_on_tree(t, x), [5.0, 5.0])
+
+    @pytest.mark.parametrize("op,np_op", [("sum", np.sum), ("max", np.max),
+                                          ("min", np.min), ("prod", np.prod)])
+    def test_all_ops(self, op, np_op):
+        pf = polarfly_graph(3)
+        t = bfs_spanning_tree(pf.graph)
+        rng = np.random.default_rng(0)
+        x = rng.integers(1, 4, size=(pf.n, 5))
+        assert np.array_equal(reduce_on_tree(t, x, op), np_op(x, axis=0))
+
+    def test_unknown_op(self):
+        t = SpanningTree(0, {1: 0})
+        with pytest.raises(ValueError):
+            reduce_on_tree(t, np.ones((2, 1)), op="xor")
+
+    def test_inputs_not_mutated(self):
+        t = SpanningTree(0, {1: 0})
+        x = np.ones((2, 2))
+        before = x.copy()
+        reduce_on_tree(t, x)
+        assert np.array_equal(x, before)
+
+
+class TestExecutePlan:
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint", "single"])
+    @pytest.mark.parametrize("q", [3, 5, 7])
+    def test_allreduce_correct(self, q, scheme):
+        plan = build_plan(q, scheme)
+        rng = np.random.default_rng(q)
+        x = rng.integers(0, 100, size=(plan.num_nodes, 37))
+        out = execute_plan(plan, x)
+        want = x.sum(axis=0)
+        assert np.array_equal(out, np.broadcast_to(want, out.shape))
+
+    def test_float_inputs(self):
+        plan = build_plan(3, "low-depth")
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((plan.num_nodes, 16))
+        out = execute_plan(plan, x)
+        np.testing.assert_allclose(out, np.broadcast_to(x.sum(axis=0), out.shape),
+                                   rtol=1e-10)
+
+    def test_bad_shape(self):
+        plan = build_plan(3, "single")
+        with pytest.raises(ValueError):
+            execute_plan(plan, np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            execute_plan(plan, np.ones(plan.num_nodes))
+
+    def test_m_smaller_than_tree_count(self):
+        # some trees receive empty slices; result still correct
+        plan = build_plan(5, "low-depth")
+        x = np.ones((plan.num_nodes, 2))
+        out = execute_plan(plan, x)
+        assert np.all(out == plan.num_nodes)
+
+    def test_m_zero(self):
+        plan = build_plan(3, "single")
+        out = execute_plan(plan, np.ones((plan.num_nodes, 0)))
+        assert out.shape == (plan.num_nodes, 0)
+
+    @given(st.integers(min_value=1, max_value=64), st.sampled_from(["sum", "max"]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_m(self, m, op):
+        plan = build_plan(3, "edge-disjoint")
+        rng = np.random.default_rng(m)
+        x = rng.integers(-50, 50, size=(plan.num_nodes, m))
+        out = execute_plan(plan, x, op)
+        want = x.sum(axis=0) if op == "sum" else x.max(axis=0)
+        assert np.array_equal(out, np.broadcast_to(want, out.shape))
+
+
+class TestVerifyPlan:
+    @pytest.mark.parametrize("scheme", ["low-depth", "edge-disjoint", "single"])
+    def test_verify_all_schemes(self, scheme):
+        assert verify_plan(build_plan(5, scheme))
+
+    @pytest.mark.parametrize("op", ["sum", "prod", "max", "min"])
+    def test_verify_all_ops(self, op):
+        # small values keep prod in int64 range
+        assert verify_plan(build_plan(3, "low-depth"), m=8, op=op)

@@ -1,0 +1,161 @@
+"""Tests for the Singer difference-set construction (Section 6.2, Figure 2)."""
+
+import pytest
+
+from repro.topology import (
+    difference_table,
+    edge_sum,
+    is_perfect_difference_set,
+    reflection_points,
+    singer_difference_set,
+    singer_graph,
+)
+from repro.utils import prime_powers_in_range
+
+QS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16]
+
+
+class TestDifferenceSet:
+    def test_paper_q3(self):
+        # Figure 2a: D = {0, 1, 3, 9} over Z_13.
+        assert singer_difference_set(3) == (0, 1, 3, 9)
+
+    def test_paper_q4(self):
+        # Figure 2b: D = {0, 1, 4, 14, 16} over Z_21.
+        assert singer_difference_set(4) == (0, 1, 4, 14, 16)
+
+    @pytest.mark.parametrize("q", QS)
+    def test_cardinality(self, q):
+        assert len(singer_difference_set(q)) == q + 1
+
+    @pytest.mark.parametrize("q", QS)
+    def test_perfect_difference_property(self, q):
+        n = q * q + q + 1
+        assert is_perfect_difference_set(singer_difference_set(q), n)
+
+    @pytest.mark.parametrize("q", prime_powers_in_range(17, 49))
+    def test_perfect_difference_property_larger(self, q):
+        n = q * q + q + 1
+        assert is_perfect_difference_set(singer_difference_set(q), n)
+
+    def test_not_prime_power(self):
+        for q in (1, 6, 10):
+            with pytest.raises(ValueError):
+                singer_difference_set(q)
+
+    def test_elements_reduced_mod_n(self):
+        for q in QS:
+            n = q * q + q + 1
+            assert all(0 <= d < n for d in singer_difference_set(q))
+
+    def test_memoized(self):
+        assert singer_difference_set(5) is singer_difference_set(5)
+
+
+class TestPerfectDifferenceChecker:
+    def test_rejects_non_difference_set(self):
+        assert not is_perfect_difference_set((0, 1, 2, 3), 13)
+
+    def test_accepts_shifted_set(self):
+        # Difference property is shift-invariant.
+        d = tuple((x + 5) % 13 for x in (0, 1, 3, 9))
+        assert is_perfect_difference_set(d, 13)
+
+    def test_rejects_wrong_modulus(self):
+        assert not is_perfect_difference_set((0, 1, 3, 9), 15)
+
+
+class TestDifferenceTable:
+    def test_q3_table_covers_all_residues(self):
+        # Figure 2a: every integer 1..12 appears exactly once.
+        d = singer_difference_set(3)
+        table = difference_table(d, 13)
+        assert sorted(table.values()) == list(range(1, 13))
+
+    def test_q4_table_covers_all_residues(self):
+        d = singer_difference_set(4)
+        table = difference_table(d, 21)
+        assert sorted(table.values()) == list(range(1, 21))
+
+    def test_table_size(self):
+        d = singer_difference_set(5)
+        assert len(difference_table(d, 31)) == 6 * 5
+
+
+class TestReflectionPoints:
+    def test_paper_q3(self):
+        # Figure 2a: reflection points {0, 7, 8, 11}.
+        assert reflection_points(singer_difference_set(3), 13) == (0, 7, 8, 11)
+
+    def test_paper_q4(self):
+        # Figure 2b: reflection points {0, 2, 7, 8, 11}.
+        assert reflection_points(singer_difference_set(4), 21) == (0, 2, 7, 8, 11)
+
+    @pytest.mark.parametrize("q", QS)
+    def test_count_and_definition(self, q):
+        n = q * q + q + 1
+        d = singer_difference_set(q)
+        refl = reflection_points(d, n)
+        assert len(refl) == q + 1  # one per difference-set element
+        dset = set(d)
+        for i in range(n):
+            assert ((2 * i) % n in dset) == (i in refl)
+
+
+class TestSingerGraph:
+    @pytest.mark.parametrize("q", QS)
+    def test_sizes(self, q):
+        sg = singer_graph(q)
+        assert sg.graph.n == q * q + q + 1
+        assert sg.graph.num_edges == q * (q + 1) ** 2 // 2
+
+    @pytest.mark.parametrize("q", QS)
+    def test_self_loops_are_reflection_points(self, q):
+        sg = singer_graph(q)
+        assert tuple(sorted(sg.graph.self_loops)) == sg.reflections
+
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9])
+    def test_diameter_two(self, q):
+        assert singer_graph(q).graph.diameter() == 2
+
+    def test_edge_definition(self):
+        sg = singer_graph(3)
+        dset = set(sg.dset)
+        for u in range(sg.n):
+            for v in range(u + 1, sg.n):
+                assert sg.graph.has_edge(u, v) == ((u + v) % sg.n in dset)
+
+    def test_edge_color(self):
+        sg = singer_graph(3)
+        u, v = next(iter(sg.graph.edges))
+        assert sg.edge_color(u, v) == (u + v) % 13
+        with pytest.raises(ValueError):
+            # (1, 3) sums to 4, not in D={0,1,3,9}
+            sg.edge_color(1, 3)
+
+    def test_edges_of_color_partition(self):
+        # Colors partition the edge set; each color class has (N-1)/2 edges.
+        sg = singer_graph(4)
+        total = 0
+        seen = set()
+        for d in sg.dset:
+            es = sg.edges_of_color(d)
+            assert len(es) == (sg.n - 1) // 2
+            total += len(es)
+            seen |= set(es)
+        assert total == sg.graph.num_edges
+        assert seen == set(sg.graph.edges)
+
+    def test_edges_of_color_invalid(self):
+        with pytest.raises(ValueError):
+            singer_graph(3).edges_of_color(2)
+
+    def test_self_loop_color(self):
+        sg = singer_graph(3)
+        # reflection point 7: 2*7 = 14 = 1 mod 13, and 1 is in D
+        assert sg.self_loop_color(7) == 1
+        with pytest.raises(ValueError):
+            sg.self_loop_color(1)
+
+    def test_edge_sum_helper(self):
+        assert edge_sum(10, 5, 13) == 2

@@ -1,0 +1,87 @@
+"""Tests for cycle-simulator tracing and the waterfall renderer."""
+
+import pytest
+
+from repro.core import build_plan
+from repro.simulator import simulate_allreduce
+from repro.simulator.trace import render_waterfall, trace_allreduce
+from repro.topology import Graph
+from repro.trees import SpanningTree
+
+
+def chain(n):
+    g = Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    t = SpanningTree(0, {i: i - 1 for i in range(1, n)})
+    return g, t
+
+
+class TestTrace:
+    def test_cycle_count_matches_simulator(self):
+        plan = build_plan(5, "low-depth")
+        parts = plan.partition(120)
+        trace = trace_allreduce(plan.topology, plan.trees, parts)
+        stats = simulate_allreduce(plan.topology, plan.trees, parts)
+        assert trace.cycles == stats.cycles
+
+    def test_activity_sums_to_flits_moved(self):
+        plan = build_plan(3, "single")
+        parts = plan.partition(40)
+        trace = trace_allreduce(plan.topology, plan.trees, parts)
+        stats = simulate_allreduce(plan.topology, plan.trees, parts)
+        assert sum(sum(s) for s in trace.activity.values()) == stats.flits_moved
+
+    def test_single_link_utilization(self):
+        g, t = chain(2)
+        m = 30
+        trace = trace_allreduce(g, [t], [m])
+        # both directions carry m flits over m+2 cycles
+        for ch in ((0, 1), (1, 0)):
+            assert trace.utilization(ch) == pytest.approx(m / (m + 2))
+
+    def test_pipeline_fill_visible(self):
+        # on a depth-3 chain, the last reduce hop is idle for 2 cycles
+        g, t = chain(4)
+        trace = trace_allreduce(g, [t], [10])
+        last_hop = trace.activity[(1, 0)]
+        assert last_hop[0] == 0 and last_hop[1] == 0 and last_hop[2] == 1
+
+    def test_busiest_ordering(self):
+        plan = build_plan(3, "low-depth")
+        trace = trace_allreduce(plan.topology, plan.trees, plan.partition(60))
+        top = trace.busiest(5)
+        utils = [u for _, u in top]
+        assert utils == sorted(utils, reverse=True)
+        assert all(0 <= u <= 1 for u in utils)
+
+    def test_buffer_size_respected(self):
+        g, t = chain(2)
+        slow = trace_allreduce(g, [t], [20], buffer_size=1)
+        fast = trace_allreduce(g, [t], [20])
+        assert slow.cycles > fast.cycles
+
+    def test_max_cycles_guard(self):
+        g, t = chain(2)
+        with pytest.raises(RuntimeError):
+            trace_allreduce(g, [t], [100], max_cycles=5)
+
+
+class TestWaterfall:
+    def test_renders_rows_and_glyphs(self):
+        g, t = chain(3)
+        trace = trace_allreduce(g, [t], [8])
+        text = render_waterfall(trace)
+        assert "waterfall" in text
+        assert "0->1" in text.replace(" ", "") or "1->0" in text.replace(" ", "")
+        assert "." in text and "1" in text
+
+    def test_respects_channel_selection(self):
+        g, t = chain(3)
+        trace = trace_allreduce(g, [t], [8])
+        text = render_waterfall(trace, channels=[(0, 1)])
+        assert text.count("|") == 2  # one data row only
+
+    def test_hash_glyph_for_wide_links(self):
+        g, t = chain(2)
+        trace = trace_allreduce(g, [t], [40], link_capacity=12)
+        text = render_waterfall(trace)
+        assert "#" in text

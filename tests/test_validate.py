@@ -1,0 +1,109 @@
+"""Tests for the ER_q structural validator."""
+
+import pytest
+
+from repro.topology import Graph, polarfly_graph, singer_graph
+from repro.topology.families import hypercube_graph, ring_graph
+from repro.topology.validate import ERValidationReport, infer_q, validate_er_graph
+
+
+class TestInferQ:
+    def test_valid_orders(self):
+        for q in (2, 3, 4, 5, 7, 8, 9, 11, 127):
+            assert infer_q(q * q + q + 1) == q
+
+    def test_invalid_orders(self):
+        for n in (2, 4, 5, 6, 8, 10, 12, 14, 20, 22, 100):
+            assert infer_q(n) is None
+
+
+class TestValidateAccepts:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9])
+    def test_er_construction(self, q):
+        report = validate_er_graph(polarfly_graph(q).graph)
+        assert report.ok, report.failures
+        assert report.q == q
+
+    @pytest.mark.parametrize("q", [3, 4, 5, 7])
+    def test_singer_construction(self, q):
+        report = validate_er_graph(singer_graph(q).graph, expected_q=q)
+        assert report.ok, report.failures
+
+    def test_bool_protocol(self):
+        assert validate_er_graph(polarfly_graph(3).graph)
+
+
+class TestValidateRejects:
+    def test_wrong_order(self):
+        report = validate_er_graph(ring_graph(10))
+        assert not report.ok
+        assert report.q is None
+
+    def test_right_order_wrong_structure(self):
+        # 13 = 3^2+3+1 vertices but a cycle, not ER_3
+        report = validate_er_graph(ring_graph(13))
+        assert not report.ok
+        assert report.q == 3
+        assert any("degree sequence" in f for f in report.failures)
+
+    def test_expected_q_mismatch(self):
+        report = validate_er_graph(polarfly_graph(3).graph, expected_q=5)
+        assert not report.ok
+        assert any("expected q=5" in f for f in report.failures)
+
+    def test_edge_tampering_detected(self):
+        # remove one edge and add another: degrees shift, caught
+        pf = polarfly_graph(3)
+        g = Graph(pf.n)
+        edges = sorted(pf.graph.edges)
+        dropped = edges.pop(0)
+        for e in edges:
+            g.add_edge(*e)
+        # add a replacement edge not previously present
+        new = next(
+            (u, v)
+            for u in range(pf.n)
+            for v in range(u + 1, pf.n)
+            if not pf.graph.has_edge(u, v) and (u, v) != dropped
+        )
+        g.add_edge(*new)
+        report = validate_er_graph(g)
+        assert not report.ok
+
+    def test_rewiring_preserving_degrees_detected(self):
+        # swap two edges keeping the degree sequence: unique-2-path breaks
+        pf = polarfly_graph(3)
+        edges = sorted(pf.graph.edges)
+        # find a 2-swap (a,b),(c,d) -> (a,d),(c,b) that keeps simplicity
+        for i, (a, b) in enumerate(edges):
+            for c, d in edges[i + 1 :]:
+                if len({a, b, c, d}) < 4:
+                    continue
+                if pf.graph.has_edge(a, d) or pf.graph.has_edge(c, b):
+                    continue
+                g = Graph(pf.n)
+                for e in edges:
+                    if e not in ((a, b), (c, d)):
+                        g.add_edge(*e)
+                g.add_edge(a, d)
+                g.add_edge(c, b)
+                if g.degree_sequence() == pf.graph.degree_sequence():
+                    report = validate_er_graph(g)
+                    assert not report.ok
+                    assert any("common neighbors" in f or "disconnected" in f
+                               for f in report.failures)
+                    return
+        pytest.skip("no valid 2-swap found")
+
+    def test_non_prime_power_order(self):
+        # N = 43 = 6^2+6+1 but 6 is not a prime power: structure impossible
+        g = Graph(43)
+        for i in range(43):
+            g.add_edge(i, (i + 1) % 43)
+        report = validate_er_graph(g)
+        assert not report.ok
+        assert any("not a prime power" in f for f in report.failures)
+
+    def test_hypercube_rejected(self):
+        report = validate_er_graph(hypercube_graph(3))
+        assert not report.ok
