@@ -6,7 +6,9 @@ Three fidelities, all exercising the Section 4.3/4.4 dataflow:
   vectors (proves the multi-tree schedule computes the right answer);
 - :mod:`repro.simulator.cycle` — flit-level pipelined simulation with
   per-channel fair arbitration (validates the Algorithm 1 bandwidth model
-  and the depth-proportional latency);
+  and the depth-proportional latency); :mod:`repro.simulator.fastcycle`
+  is its NumPy-vectorized cycle-exact twin, selectable via
+  ``simulate_allreduce(..., engine="fast")``;
 - :mod:`repro.simulator.fluid` — closed-form max-min rate model for large
   configurations.
 
@@ -21,6 +23,8 @@ from repro.simulator.config_gen import (
     generate_fabric_config,
 )
 from repro.simulator.cycle import CycleSimulator, CycleStats, simulate_allreduce
+from repro.simulator.engine import ENGINES, CycleEngine, make_engine
+from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.fluid import FluidResult, fluid_simulate
 from repro.simulator.functional import REDUCE_OPS, execute_plan, reduce_on_tree, verify_plan
 from repro.simulator.network import Network
@@ -42,6 +46,10 @@ __all__ = [
     "CycleSimulator",
     "CycleStats",
     "simulate_allreduce",
+    "CycleEngine",
+    "ENGINES",
+    "make_engine",
+    "FastCycleSimulator",
     "FluidResult",
     "fluid_simulate",
     "REDUCE_OPS",

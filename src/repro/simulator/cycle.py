@@ -230,6 +230,23 @@ class CycleSimulator:
         bc = self.bc_delivered[ti]
         return all(bc[v] >= m for v in t.parent)
 
+    # ----------------------------------------------------- engine protocol
+
+    def tree_done(self, i: int) -> bool:
+        """Tree ``i`` completed, counting only flits that have landed."""
+        return self._tree_done(i)
+
+    def done(self) -> bool:
+        return all(self._tree_done(i) for i in range(len(self.trees)))
+
+    def channels(self) -> List[Tuple[int, int]]:
+        """Directed channels carrying at least one flow, in creation order."""
+        return list(self.channel_flows)
+
+    def channel_flit_counts(self) -> List[int]:
+        """Cumulative flits moved per channel, aligned with :meth:`channels`."""
+        return [self.channel_flits[ch] for ch in self.channel_flows]
+
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
         # 1. land last cycle's in-flight flits
@@ -333,7 +350,16 @@ def simulate_allreduce(
     link_capacity: int = 1,
     max_cycles: Optional[int] = None,
     buffer_size: Optional[int] = None,
+    engine: str = "reference",
 ) -> CycleStats:
-    """One-shot convenience wrapper around :class:`CycleSimulator`."""
-    sim = CycleSimulator(g, trees, flits_per_tree, link_capacity, buffer_size)
+    """One-shot cycle simulation with a selectable engine.
+
+    ``engine="reference"`` runs the mechanism-faithful per-flit
+    :class:`CycleSimulator`; ``engine="fast"`` runs the NumPy-vectorized
+    :class:`~repro.simulator.fastcycle.FastCycleSimulator`.  The two are
+    cycle-exact equivalents, so the choice only affects wall-clock time.
+    """
+    from repro.simulator.engine import make_engine
+
+    sim = make_engine(engine, g, trees, flits_per_tree, link_capacity, buffer_size)
     return sim.run(max_cycles)

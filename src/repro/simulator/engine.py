@@ -1,0 +1,91 @@
+"""Shared cycle-engine protocol and engine selection.
+
+Two interchangeable implementations of the flit-level pipelined Allreduce
+simulation exist:
+
+- ``"reference"`` — :class:`repro.simulator.cycle.CycleSimulator`, the
+  mechanism-faithful per-flit implementation (per-channel Python round
+  robin; slow, easy to audit);
+- ``"fast"`` — :class:`repro.simulator.fastcycle.FastCycleSimulator`, a
+  NumPy-vectorized engine that advances all channels per cycle with array
+  operations.
+
+Both satisfy :class:`CycleEngine` and are **cycle-exact** equivalents:
+identical per-channel per-cycle flit counts, per-tree completion cycles
+and :class:`~repro.simulator.cycle.CycleStats` on every workload
+(enforced by ``tests/test_fastcycle_equivalence.py``).  Tracing and the
+waterfall renderer (:mod:`repro.simulator.trace`) work against this
+protocol, so they are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # Protocol is typing-only; keep 3.7-compatible fallback cheap
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.simulator.cycle import CycleSimulator, CycleStats
+from repro.simulator.fastcycle import FastCycleSimulator
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["CycleEngine", "ENGINES", "make_engine"]
+
+
+@runtime_checkable
+class CycleEngine(Protocol):
+    """What a cycle engine must expose for running, tracing and stats.
+
+    ``step`` advances one cycle and returns the flits transferred;
+    ``channels``/``channel_flit_counts`` expose cumulative per-directed-
+    channel activity (aligned lists) so tracers can diff successive
+    cycles; ``tree_done``/``done`` report completion as of the flits that
+    have *landed* (in-flight flits excluded, one-cycle hop latency);
+    ``run`` drives the engine to completion and folds the result into a
+    :class:`CycleStats`.
+    """
+
+    capacity: int
+    buffer_size: Optional[int]
+
+    def step(self) -> int: ...
+
+    def tree_done(self, i: int) -> bool: ...
+
+    def done(self) -> bool: ...
+
+    def channels(self) -> List[Tuple[int, int]]: ...
+
+    def channel_flit_counts(self) -> List[int]: ...
+
+    def run(self, max_cycles: Optional[int] = None) -> CycleStats: ...
+
+
+ENGINES = {
+    "reference": CycleSimulator,
+    "fast": FastCycleSimulator,
+}
+
+
+def make_engine(
+    engine: str,
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    flits_per_tree: Sequence[int],
+    link_capacity: int = 1,
+    buffer_size: Optional[int] = None,
+) -> "CycleEngine":
+    """Instantiate the named cycle engine (``"reference"`` or ``"fast"``)."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(g, trees, flits_per_tree, link_capacity, buffer_size)

@@ -1,0 +1,428 @@
+"""NumPy-vectorized cycle engine — cycle-exact vs :class:`CycleSimulator`.
+
+The reference simulator (:mod:`repro.simulator.cycle`) walks per-flit
+Python dicts every cycle; this engine advances *all* directed channels per
+cycle with array operations and produces bit-identical results:
+
+- per-(tree, phase) flit frontiers (delivered reduction / broadcast
+  counters, the streaming-aggregation frontier, and the consumption
+  counters that back credits) live in one flat integer state tensor that
+  every per-cycle gather/scatter addresses through precomputed flat
+  indices;
+- streaming aggregation is a single ``np.minimum.reduceat`` over the
+  concatenated children lists; credit counters are per-flow vectors
+  computed from the same start-of-cycle snapshot the reference uses, so
+  the two-cycle credit loop is reproduced exactly;
+- round-robin arbitration is replaced by its closed form.  For
+  ``link_capacity == 1`` (the common case) the winner of each channel is
+  the backlogged flow with the smallest cyclic offset from the rotating
+  pointer — one segmented min over packed ``(offset, flow)`` keys decides
+  every channel at once.  For larger capacities, ``T`` complete
+  round-robin passes hand flow ``i`` exactly ``min(b_i, T)`` flits and the
+  remaining ``R`` flits go to the first ``R`` flows with ``b_i > T`` in
+  cyclic order (water-filling), computed with vectorized offsets.  In both
+  paths the pointer advances to one past the last grant, exactly like the
+  reference loop.
+
+Cycle-exactness (same per-channel per-cycle flit counts, same completion
+cycles, same round-robin pointer trajectory, same :class:`CycleStats`) is
+enforced by ``tests/test_fastcycle_equivalence.py``; the speedup is
+recorded by ``benchmarks/test_bench_fastcycle.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulator.cycle import CycleStats
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["FastCycleSimulator"]
+
+_INF = 1 << 30
+_BIG = 1 << 62
+
+# planes of the flat state tensor (each of shape (num_trees, n))
+_AGG = 0  # flits fully aggregated at a node (leaves pinned at m_i)
+_BCD = 1  # broadcast flits fully arrived at a node (roots pinned at _INF)
+_BCM = 2  # min over a node's outgoing broadcast 'sent' counters
+_UPD = 3  # flits from a node fully arrived at its parent
+
+
+class FastCycleSimulator:
+    """Vectorized drop-in replacement for :class:`CycleSimulator`.
+
+    Implements the :class:`~repro.simulator.engine.CycleEngine` surface
+    (``step`` / ``tree_done`` / ``done`` / ``channels`` /
+    ``channel_flit_counts`` / ``run``) and is cycle-exact: every
+    observable — per-channel per-cycle activity, per-tree completion
+    cycles, the final :class:`CycleStats` — is identical to the reference
+    engine's.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        trees: Sequence[SpanningTree],
+        flits_per_tree: Sequence[int],
+        link_capacity: int = 1,
+        buffer_size: Optional[int] = None,
+    ):
+        if len(trees) != len(flits_per_tree):
+            raise ValueError("flits_per_tree must align with trees")
+        if link_capacity < 1:
+            raise ValueError("link capacity must be >= 1 flit/cycle")
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError("buffer size must be >= 1 slot (or None for infinite)")
+        for t in trees:
+            t.validate(g)
+        self.g = g
+        self.trees = list(trees)
+        self.m = [int(x) for x in flits_per_tree]
+        if any(x < 0 for x in self.m):
+            raise ValueError("flit counts must be non-negative")
+        self.capacity = link_capacity
+        self.buffer_size = buffer_size
+
+        n = g.n
+        self.n = n
+        T = len(self.trees)
+        self._T = T
+        self._m_arr = np.asarray(self.m, dtype=np.int64).reshape(T)
+
+        # ---- flows, in the exact fid order of the reference simulator
+        # (the order fixes the round-robin visit sequence per channel)
+        f_tree: List[int] = []
+        f_src: List[int] = []
+        f_dst: List[int] = []
+        f_is_reduce: List[bool] = []
+        channel_flows: Dict[Tuple[int, int], List[int]] = {}
+        up_fid_of: Dict[Tuple[int, int], int] = {}  # (tree, child) -> reduce fid
+        bc_fid_of: Dict[Tuple[int, int], int] = {}  # (tree, child) -> broadcast fid
+        for ti, t in enumerate(self.trees):
+            for v, p in t.parent.items():
+                fid = len(f_tree)
+                f_tree.append(ti); f_src.append(v); f_dst.append(p); f_is_reduce.append(True)
+                channel_flows.setdefault((v, p), []).append(fid)
+                up_fid_of[(ti, v)] = fid
+                fid = len(f_tree)
+                f_tree.append(ti); f_src.append(p); f_dst.append(v); f_is_reduce.append(False)
+                channel_flows.setdefault((p, v), []).append(fid)
+                bc_fid_of[(ti, v)] = fid
+        self.channel_flows = channel_flows
+        F = len(f_tree)
+        self._F = F
+        tree_arr = np.asarray(f_tree, dtype=np.int64).reshape(F)
+        src_arr = np.asarray(f_src, dtype=np.int64).reshape(F)
+        dst_arr = np.asarray(f_dst, dtype=np.int64).reshape(F)
+        is_reduce = np.asarray(f_is_reduce, dtype=bool).reshape(F)
+        roots = np.asarray([t.root for t in self.trees], dtype=np.int64)
+        self._roots = roots
+
+        self.sent = np.zeros(F, dtype=np.int64)
+
+        # ---- flat state tensor and per-flow flat indices
+        self._state = np.zeros((4, T, n), dtype=np.int64)
+        self._flat = self._state.reshape(-1)
+        plane = T * n
+
+        def fidx(p: int, ti: np.ndarray, v: np.ndarray) -> np.ndarray:
+            return p * plane + ti * n + v
+
+        if T:
+            # leaves of the aggregation frontier pin at m_i forever
+            self._state[_AGG] = self._m_arr[:, None]
+            # roots never receive broadcast traffic; pinning them at _INF
+            # turns the completion check into one row-min
+            self._state[_BCD][np.arange(T), roots] = _INF
+
+        # availability of the flow's next flit at its source:
+        #   reduce flow        -> aggregation frontier at src
+        #   broadcast from root-> aggregation frontier at the root
+        #   broadcast interior -> broadcast-delivered frontier at src
+        avail_plane = np.where(is_reduce | (src_arr == roots[tree_arr]), _AGG, _BCD)
+        self._avail_idx = fidx(avail_plane, tree_arr, src_arr)
+        # where a landed flit is recorded (one-cycle hop latency):
+        #   reduce flow    -> up-delivered at src
+        #   broadcast flow -> broadcast-delivered at dst
+        self._land_idx = np.where(
+            is_reduce, fidx(_UPD, tree_arr, src_arr), fidx(_BCD, tree_arr, dst_arr)
+        )
+
+        # consumption counter per flow (credit bookkeeping):
+        #   reduce into the root    -> min over the root's broadcast 'sent'
+        #   reduce into an interior -> that node's own up-flow 'sent'
+        #   broadcast into a leaf   -> broadcast-delivered at the leaf
+        #   broadcast into interior -> min over its broadcast 'sent'
+        has_kids = {(ti, v) for ti, t in enumerate(self.trees) for v in t.parent.values()}
+        cons_state = np.empty(F, dtype=np.int64)
+        cons_from_sent = np.zeros(F, dtype=bool)
+        cons_sent_fid = np.zeros(F, dtype=np.int64)
+        for fid in range(F):
+            ti, d = f_tree[fid], f_dst[fid]
+            if f_is_reduce[fid]:
+                if d == self.trees[ti].root:
+                    cons_state[fid] = fidx(_BCM, np.int64(ti), np.int64(d))
+                else:
+                    cons_from_sent[fid] = True
+                    cons_sent_fid[fid] = up_fid_of[(ti, d)]
+                    cons_state[fid] = 0
+            else:
+                cons_state[fid] = fidx(
+                    _BCD if (ti, d) not in has_kids else _BCM, np.int64(ti), np.int64(d)
+                )
+        self._cons_state_idx = cons_state
+        self._cons_from_sent = cons_from_sent
+        self._cons_sent_fid = cons_sent_fid
+
+        # ---- streaming-aggregation structure: children grouped per
+        # internal (tree, node), one minimum.reduceat per cycle
+        grp_idx: List[int] = []
+        offsets: List[int] = []
+        child_up_idx: List[int] = []
+        child_bcfid: List[int] = []
+        for ti, t in enumerate(self.trees):
+            for v in range(n):
+                kids = t.children(v)
+                if not kids:
+                    continue
+                grp_idx.append(_AGG * plane + ti * n + v)
+                offsets.append(len(child_up_idx))
+                for c in kids:
+                    child_up_idx.append(_UPD * plane + ti * n + c)
+                    child_bcfid.append(bc_fid_of[(ti, c)])
+        self._grp_agg_idx = np.asarray(grp_idx, dtype=np.int64)
+        self._grp_bcm_idx = self._grp_agg_idx + (_BCM - _AGG) * plane
+        self._grp_off = np.asarray(offsets, dtype=np.int64)
+        self._child_up_idx = np.asarray(child_up_idx, dtype=np.int64)
+        self._child_bcfid = np.asarray(child_bcfid, dtype=np.int64)
+        self._agg_root_idx = fidx(
+            np.full(T, _AGG, dtype=np.int64), np.arange(T, dtype=np.int64), roots
+        ) if T else np.zeros(0, dtype=np.int64)
+
+        # ---- per-channel arbitration structures
+        self._chs: List[Tuple[int, int]] = list(channel_flows)
+        C = len(self._chs)
+        self._C = C
+        self._ch_k = np.ones(C, dtype=np.int64)
+        # flows grouped by channel (for the capacity-1 segmented-min path)
+        gr_fid: List[int] = []
+        gr_slot: List[int] = []
+        gr_ch: List[int] = []
+        ch_off: List[int] = []
+        for ci, ch in enumerate(self._chs):
+            fids = channel_flows[ch]
+            self._ch_k[ci] = len(fids)
+            ch_off.append(len(gr_fid))
+            for slot, fid in enumerate(fids):
+                gr_fid.append(fid)
+                gr_slot.append(slot)
+                gr_ch.append(ci)
+        self._gr_fid = np.asarray(gr_fid, dtype=np.int64)
+        self._gr_slot = np.asarray(gr_slot, dtype=np.int64)
+        self._gr_ch = np.asarray(gr_ch, dtype=np.int64)
+        self._ch_off = np.asarray(ch_off, dtype=np.int64)
+        # padded (channel x slot) matrix for the general-capacity path
+        K = int(self._ch_k.max()) if C else 1
+        self._ch_fid = np.zeros((C, K), dtype=np.int64)
+        self._ch_valid = np.zeros((C, K), dtype=bool)
+        for ci, ch in enumerate(self._chs):
+            fids = channel_flows[ch]
+            self._ch_fid[ci, : len(fids)] = fids
+            self._ch_valid[ci, : len(fids)] = True
+        self._pos = np.arange(K, dtype=np.int64)[None, :]
+        self._flat_fids = self._ch_fid[self._ch_valid]
+        self._rr = np.zeros(C, dtype=np.int64)
+        self._ch_cum = np.zeros(C, dtype=np.int64)
+
+        # in-flight flits: (flow ids, counts) landing at the next boundary
+        self._pending_fids = np.zeros(0, dtype=np.int64)
+        self._pending_cnt = np.zeros(0, dtype=np.int64)
+        self.flits_moved = 0
+        self._refresh_agg()
+
+    # ------------------------------------------------------------ frontiers
+
+    def _refresh_agg(self) -> None:
+        if len(self._grp_off):
+            self._flat[self._grp_agg_idx] = np.minimum.reduceat(
+                self._flat[self._child_up_idx], self._grp_off
+            )
+
+    def _done_mask(self) -> np.ndarray:
+        if not self._T:
+            return np.ones(0, dtype=bool)
+        agg_root = self._flat[self._agg_root_idx]
+        bc_floor = self._state[_BCD].min(axis=1)
+        return (agg_root >= self._m_arr) & (bc_floor >= self._m_arr)
+
+    # ------------------------------------------------------------- dynamics
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of flits transferred."""
+        # 1. land last cycle's in-flight flits (one-cycle hop latency)
+        if len(self._pending_fids):
+            self._flat[self._land_idx[self._pending_fids]] += self._pending_cnt
+            self._pending_fids = np.zeros(0, dtype=np.int64)
+        if self._F == 0:
+            return 0
+        self._refresh_agg()
+
+        # 2. per-flow budgets from the start-of-cycle snapshot
+        budget = self._flat[self._avail_idx] - self.sent
+        if self.buffer_size is not None:
+            snap = self.sent.copy()
+            self._flat[self._grp_bcm_idx] = np.minimum.reduceat(
+                snap[self._child_bcfid], self._grp_off
+            )
+            cons = np.where(
+                self._cons_from_sent,
+                snap[self._cons_sent_fid],
+                self._flat[self._cons_state_idx],
+            )
+            budget = np.minimum(budget, self.buffer_size - (snap - cons))
+
+        # 3. arbitration
+        if self.capacity == 1:
+            return self._arbitrate_single(budget)
+        return self._arbitrate_general(budget)
+
+    def _arbitrate_single(self, budget: np.ndarray) -> int:
+        """Capacity-1 round robin: each channel grants one flit to the
+        backlogged flow with the smallest cyclic offset from the pointer."""
+        key = (self._gr_slot - self._rr[self._gr_ch]) % self._ch_k[self._gr_ch]
+        packed = np.where(
+            budget[self._gr_fid] > 0, key * self._F + self._gr_fid, _BIG
+        )
+        best = np.minimum.reduceat(packed, self._ch_off)
+        active = best < _BIG
+        moved = int(active.sum())
+        if not moved:
+            return 0
+        best = best[active]
+        win = best % self._F
+        j_sel = best // self._F
+        self._rr[active] = (self._rr[active] + j_sel + 1) % self._ch_k[active]
+        self.sent[win] += 1
+        self._ch_cum[active] += 1
+        self._pending_fids = win
+        self._pending_cnt = np.ones(moved, dtype=np.int64)
+        self.flits_moved += moved
+        return moved
+
+    def _arbitrate_general(self, budget: np.ndarray) -> int:
+        """Water-filling closed form of the one-flit-per-visit round robin
+        for arbitrary capacity."""
+        B = np.where(self._ch_valid, budget[self._ch_fid], 0)
+        np.maximum(B, 0, out=B)
+        tot = B.sum(axis=1)
+        S = np.minimum(tot, self.capacity)
+
+        T_arr = np.zeros(self._C, dtype=np.int64)
+        base = np.zeros(self._C, dtype=np.int64)
+        for t in range(1, self.capacity + 1):
+            s = np.minimum(B, t).sum(axis=1)
+            ok = s <= S
+            T_arr[ok] = t
+            base[ok] = s[ok]
+        R = S - base
+
+        grants = np.minimum(B, T_arr[:, None])
+        jpos = (self._pos - self._rr[:, None]) % self._ch_k[:, None]
+        want_extra = (B > T_arr[:, None]) & self._ch_valid
+        if want_extra.any():
+            # rank of each candidate among candidates, in cyclic order
+            rank = (want_extra[:, None, :] & (jpos[:, None, :] < jpos[:, :, None])).sum(axis=2)
+            extra = want_extra & (rank < R[:, None])
+            grants += extra
+        else:
+            extra = want_extra
+
+        # rotating pointer: one past the last grant of the cycle
+        has_extra = extra.any(axis=1)
+        j_extra = np.where(extra, jpos, -1).max(axis=1, initial=-1)
+        last_pass = grants.max(axis=1, initial=0)
+        j_pass = np.where(
+            (B >= last_pass[:, None]) & self._ch_valid & (last_pass[:, None] > 0),
+            jpos,
+            -1,
+        ).max(axis=1, initial=-1)
+        j_last = np.where(has_extra, j_extra, j_pass)
+        self._rr = np.where(S > 0, (self._rr + j_last + 1) % self._ch_k, self._rr)
+
+        moved = int(S.sum())
+        if moved:
+            flat = grants[self._ch_valid]
+            nz = flat > 0
+            self._pending_fids = self._flat_fids[nz]
+            self._pending_cnt = flat[nz]
+            self.sent[self._pending_fids] += self._pending_cnt
+            self._ch_cum += grants.sum(axis=1)
+            self.flits_moved += moved
+        return moved
+
+    # ----------------------------------------------------- engine protocol
+
+    def tree_done(self, i: int) -> bool:
+        if self.m[i] == 0:
+            return True
+        return bool(self._done_mask()[i])
+
+    def done(self) -> bool:
+        return bool(self._done_mask().all())
+
+    def channels(self) -> List[Tuple[int, int]]:
+        return list(self._chs)
+
+    def channel_flit_counts(self) -> List[int]:
+        return [int(x) for x in self._ch_cum]
+
+    def run(self, max_cycles: Optional[int] = None) -> CycleStats:
+        """Run to completion of all trees; raises ``RuntimeError`` on
+        stall or when ``max_cycles`` is exceeded (reference semantics)."""
+        if max_cycles is None:
+            depth = max((t.depth for t in self.trees), default=0)
+            stall_factor = 1 if self.buffer_size is None else (
+                1 + max(1, 2 * self.capacity) // self.buffer_size
+            )
+            max_cycles = 16 + 4 * depth + 8 * stall_factor * (sum(self.m) + 1) * max(
+                1, len(self.trees)
+            )
+        T = self._T
+        completion = [0] * T
+        done = self._done_mask()
+        cycle = 0
+        while not done.all():
+            moved = self.step()
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            now = self._done_mask()
+            if moved == 0 and not len(self._pending_fids):
+                if not now.all():
+                    pending = [i for i in range(T) if not now[i]]
+                    if pending:
+                        raise RuntimeError(f"simulation stalled; pending trees {pending}")
+            newly = now & ~done
+            if newly.any():
+                for i in np.nonzero(newly)[0]:
+                    completion[i] = cycle
+                done = done | now
+        total_cycles = max(completion) if completion else 0
+        loads = [int(c) for c in self._ch_cum if c > 0]
+        denom = total_cycles * self.capacity
+        return CycleStats(
+            cycles=total_cycles,
+            tree_completion=tuple(completion),
+            flits_per_tree=tuple(self.m),
+            link_capacity=self.capacity,
+            flits_moved=self.flits_moved,
+            buffer_size=self.buffer_size,
+            max_channel_utilization=(max(loads) / denom) if loads and denom else 0.0,
+            mean_channel_utilization=(
+                sum(loads) / (len(loads) * denom) if loads and denom else 0.0
+            ),
+        )

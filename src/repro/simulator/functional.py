@@ -13,7 +13,7 @@ reduction, so a malformed tree or partition would produce wrong results.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,11 +100,18 @@ def verify_plan(
     op: str = "sum",
     seed: int = 0,
     dtype=np.int64,
+    rng: Optional[np.random.Generator] = None,
 ) -> bool:
     """Self-check: random integer inputs, compare the plan's dataflow output
     with the direct element-wise reduction. Integer dtype keeps ``sum`` and
-    ``prod`` exact."""
-    rng = np.random.default_rng(seed)
+    ``prod`` exact.
+
+    Pass an explicit ``rng`` to share one generator stream across calls
+    (it takes precedence over ``seed``); otherwise ``seed`` makes the
+    check bit-for-bit reproducible on its own.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
     inputs = rng.integers(1, 5, size=(plan.num_nodes, m)).astype(dtype)
     got = execute_plan(plan, inputs, op)
     if op == "sum":

@@ -1,14 +1,17 @@
-"""Execution tracing for the cycle simulator: per-cycle channel activity.
+"""Execution tracing for the cycle engines: per-cycle channel activity.
 
-Wraps a :class:`CycleSimulator` run and records, for every cycle, which
-directed channels moved how many flits. Renders a text "waterfall" —
-channels down the side, cycles across — that makes pipeline fill, steady
-state and drain visible, and exposes per-channel utilization series for
-analysis.
+Steps any :class:`~repro.simulator.engine.CycleEngine` (the reference
+per-flit simulator or the vectorized fast engine — both emit identical
+traces) and records, for every cycle, which directed channels moved how
+many flits. Renders a text "waterfall" — channels down the side, cycles
+across — that makes pipeline fill, steady state and drain visible, and
+exposes per-channel utilization series for analysis.
 
 Intended for debugging embeddings and for teaching: the low-depth trees'
 fill is visibly 3 hops; the Hamiltonian trees' diagonal wavefront crawls
-(N-1)/2 hops before the broadcast wave returns.
+(N-1)/2 hops before the broadcast wave returns. The per-cycle activity
+series doubles as the observable for the cycle-exactness differential
+harness (``tests/test_fastcycle_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.simulator.cycle import CycleSimulator
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
@@ -52,25 +54,32 @@ def trace_allreduce(
     link_capacity: int = 1,
     buffer_size: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    engine: str = "reference",
 ) -> ChannelTrace:
-    """Run the cycle simulator step by step, recording channel activity."""
-    sim = CycleSimulator(g, trees, flits_per_tree, link_capacity, buffer_size)
-    activity: Dict[Tuple[int, int], List[int]] = {
-        ch: [] for ch in sim.channel_flows
-    }
-    prev = dict(sim.channel_flits)
+    """Step the selected cycle engine, recording channel activity.
+
+    ``engine`` selects ``"reference"`` or ``"fast"`` — both produce the
+    same :class:`ChannelTrace` (cycle-exact equivalence).
+    """
+    from repro.simulator.engine import make_engine
+
+    sim = make_engine(engine, g, trees, flits_per_tree, link_capacity, buffer_size)
+    channels = sim.channels()
+    series: List[List[int]] = [[] for _ in channels]
+    prev = sim.channel_flit_counts()
     if max_cycles is None:
         max_cycles = 1 << 22
     cycle = 0
-    while not all(sim._tree_done(i) for i in range(len(sim.trees))):
+    while not sim.done():
         sim.step()
         cycle += 1
         if cycle > max_cycles:
             raise RuntimeError("trace exceeded max cycles")
-        for ch in activity:
-            now = sim.channel_flits[ch]
-            activity[ch].append(now - prev[ch])
-            prev[ch] = now
+        now = sim.channel_flit_counts()
+        for i, (a, b) in enumerate(zip(now, prev)):
+            series[i].append(a - b)
+        prev = now
+    activity: Dict[Tuple[int, int], List[int]] = dict(zip(channels, series))
     return ChannelTrace(cycles=cycle, capacity=link_capacity, activity=activity)
 
 

@@ -13,7 +13,7 @@ All generators return the library's :class:`Graph`.
 from __future__ import annotations
 
 import itertools
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -109,14 +109,22 @@ def hyperx_graph(dims: Sequence[int]) -> Graph:
     return g
 
 
-def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 200) -> Graph:
+def random_regular_graph(
+    n: int,
+    degree: int,
+    seed: int = 0,
+    max_tries: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
     """A connected random ``degree``-regular graph via the pairing model
-    (resampled until simple and connected)."""
+    (resampled until simple and connected). An explicit ``rng`` takes
+    precedence over ``seed``."""
     if n * degree % 2 != 0:
         raise ValueError("n * degree must be even")
     if degree >= n:
         raise ValueError("degree must be < n")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     for _ in range(max_tries):
         stubs = np.repeat(np.arange(n), degree)
         rng.shuffle(stubs)

@@ -108,15 +108,20 @@ def random_maximal_independent_set(q: int, rng: np.random.Generator) -> List[Pai
 
 
 def paper_random_search(
-    q: int, instances: int = 30, seed: int = 0
+    q: int,
+    instances: int = 30,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[List[Pair], int]:
     """The paper's Section 7.3 procedure: up to ``instances`` random maximal
     independent sets, stopping at the first that hits the upper bound.
 
     Returns ``(best_family, instances_used)``. The paper reports success
-    within 30 instances for all prime powers ``q < 128``.
+    within 30 instances for all prime powers ``q < 128``. An explicit
+    ``rng`` takes precedence over ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     bound = max_disjoint_upper_bound(q)
     best: List[Pair] = []
     for attempt in range(1, instances + 1):

@@ -46,11 +46,20 @@ def random_spanning_tree(
     return SpanningTree(root, parent)
 
 
-def random_spanning_trees(g: Graph, k: int, seed: int = 0) -> List[SpanningTree]:
-    """``k`` independent random spanning trees (the naive embedding)."""
+def random_spanning_trees(
+    g: Graph,
+    k: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[SpanningTree]:
+    """``k`` independent random spanning trees (the naive embedding).
+
+    An explicit ``rng`` takes precedence over ``seed`` and lets callers
+    thread one generator stream through a larger experiment."""
     if k < 1:
         raise ValueError("need at least one tree")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     out = []
     for i in range(k):
         t = random_spanning_tree(g, rng)

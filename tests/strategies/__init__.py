@@ -1,0 +1,157 @@
+"""Shared hypothesis strategies and fixtures for the test suite.
+
+Centralizes the plan/topology/workload boilerplate that used to be copied
+inline across ``tests/test_differential.py``,
+``tests/test_properties_crosscutting.py`` and friends:
+
+- :data:`PLANS` / :func:`plan_keys` — every valid (q, scheme) pair at
+  small radix, built once per session (schemes are parity-restricted:
+  ``low-depth`` needs odd q, ``low-depth-even`` even q);
+- :func:`message_sizes`, :func:`seeds`, :func:`seeded_rngs`,
+  :func:`reduce_ops`, :func:`buffer_sizes`, :func:`link_capacities` —
+  workload knobs;
+- :data:`TOPOLOGIES` / :func:`topology_names` / :func:`random_embedding`
+  — small named topologies plus seeded random spanning-tree embeddings
+  for cross-cutting invariants.
+
+Everything is deterministic: strategies only emit seeds or seeded
+generators, never global-randomness draws, so failing examples shrink and
+replay bit-for-bit.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core import build_plan
+from repro.topology import (
+    hypercube_graph,
+    polarfly_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.trees import random_spanning_trees
+
+__all__ = [
+    "PLANS",
+    "PLAN_KEYS",
+    "get_plan",
+    "plan_keys",
+    "message_sizes",
+    "seeds",
+    "seeded_rngs",
+    "reduce_ops",
+    "buffer_sizes",
+    "link_capacities",
+    "TOPOLOGIES",
+    "topology_names",
+    "random_embedding",
+]
+
+
+def _valid(q: int, scheme: str) -> bool:
+    if scheme == "low-depth":
+        return q % 2 == 1
+    if scheme == "low-depth-even":
+        return q % 2 == 0
+    return True
+
+
+class _LazyPlans:
+    """Mapping-ish view over every valid (q, scheme) key that builds each
+    plan on first access (building all plans eagerly at import would slow
+    collection of every test module that imports this package)."""
+
+    def __init__(self, qs=(3, 4, 5)):
+        self._keys = tuple(
+            sorted(
+                (q, scheme)
+                for q in qs
+                for scheme in ("low-depth", "low-depth-even", "edge-disjoint", "single")
+                if _valid(q, scheme)
+            )
+        )
+
+    def keys(self):
+        return self._keys
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __contains__(self, key):
+        return key in self._keys
+
+    def __getitem__(self, key):
+        if key not in self._keys:
+            raise KeyError(key)
+        return get_plan(*key)
+
+
+@lru_cache(maxsize=None)
+def get_plan(q: int, scheme: str):
+    """Session-cached :func:`repro.core.build_plan`."""
+    return build_plan(q, scheme)
+
+
+PLANS = _LazyPlans()
+PLAN_KEYS = PLANS.keys()
+
+
+def plan_keys(qs=None):
+    """Strategy over valid (q, scheme) keys; pass ``qs`` to narrow radix."""
+    keys = PLAN_KEYS if qs is None else tuple(k for k in PLAN_KEYS if k[0] in qs)
+    return st.sampled_from(keys)
+
+
+def message_sizes(min_value: int = 1, max_value: int = 48):
+    """Allreduce vector lengths (in flits/elements)."""
+    return st.integers(min_value=min_value, max_value=max_value)
+
+
+def seeds(max_value: int = 1000):
+    return st.integers(min_value=0, max_value=max_value)
+
+
+def seeded_rngs(max_seed: int = 1000):
+    """Deterministic ``np.random.Generator`` instances (shrinks via the
+    underlying seed)."""
+    return seeds(max_seed).map(np.random.default_rng)
+
+
+def reduce_ops():
+    return st.sampled_from(["sum", "max"])
+
+
+def buffer_sizes(max_value: int = 6):
+    """Credit flow control off (``None``) or a small per-flow slot count."""
+    return st.one_of(st.none(), st.integers(min_value=1, max_value=max_value))
+
+
+def link_capacities(max_value: int = 4):
+    return st.integers(min_value=1, max_value=max_value)
+
+
+TOPOLOGIES = {
+    "pf3": lambda: polarfly_graph(3).graph,
+    "pf5": lambda: polarfly_graph(5).graph,
+    "hc4": lambda: hypercube_graph(4),
+    "torus33": lambda: torus_graph([3, 3]),
+    "rr": lambda: random_regular_graph(14, 4, seed=2),
+}
+
+
+def topology_names(subset=None):
+    names = sorted(TOPOLOGIES) if subset is None else sorted(subset)
+    return st.sampled_from(names)
+
+
+@lru_cache(maxsize=None)
+def _topology(name: str):
+    return TOPOLOGIES[name]()
+
+
+def random_embedding(name: str, k: int, seed: int):
+    """A named topology plus ``k`` seeded random spanning trees."""
+    g = _topology(name)
+    return g, random_spanning_trees(g, k, seed=seed)

@@ -1,15 +1,20 @@
-"""Differential testing: four independent execution engines must agree.
+"""Differential testing: five independent execution engines must agree.
 
-The library has four ways to execute the same multi-tree Allreduce:
+The library has five ways to execute the same multi-tree Allreduce:
 
 1. the functional executor (global buffers, level-order accumulation),
 2. the collectives API (reduce-scatter + broadcast phases),
 3. the packet-level simulator (payloads through router engines, with
    cycle-accurate arbitration),
-4. the SPMD runtime (per-rank generator programs, blocking messages).
+4. the SPMD runtime (per-rank generator programs, blocking messages),
+5. the vectorized fast cycle engine (timing-only, but cycle-exact vs the
+   reference flit simulator).
 
 They share no execution code beyond the tree structures, so exact
-agreement on random workloads is a strong whole-stack check.
+agreement on random workloads is a strong whole-stack check: the packet
+simulator ties the *payload* result to a cycle count, and the fast engine
+must reproduce that cycle count and flit movement exactly — linking
+payload agreement and timing agreement through one workload.
 """
 
 import numpy as np
@@ -17,27 +22,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import InNetworkCollectives, build_plan
+from repro.core import InNetworkCollectives
 from repro.runtime import tree_allreduce_spmd
 from repro.simulator import execute_plan, packet_allreduce, simulate_allreduce
 
-PLANS = {
-    (q, scheme): build_plan(q, scheme)
-    for q in (3, 4, 5)
-    for scheme in ("low-depth", "low-depth-even", "edge-disjoint", "single")
-    if not (scheme == "low-depth" and q % 2 == 0)
-    and not (scheme == "low-depth-even" and q % 2 == 1)
-}
+from tests.strategies import PLANS, message_sizes, plan_keys, reduce_ops, seeds
 
 
 @given(
-    key=st.sampled_from(sorted(PLANS)),
-    m=st.integers(min_value=1, max_value=48),
-    seed=st.integers(min_value=0, max_value=1000),
-    op=st.sampled_from(["sum", "max"]),
+    key=plan_keys(),
+    m=message_sizes(max_value=48),
+    seed=seeds(),
+    op=reduce_ops(),
 )
 @settings(max_examples=25, deadline=None)
-def test_four_engines_agree(key, m, seed, op):
+def test_five_engines_agree(key, m, seed, op):
     plan = PLANS[key]
     rng = np.random.default_rng(seed)
     x = rng.integers(-100, 100, size=(plan.num_nodes, m))
@@ -45,7 +44,7 @@ def test_four_engines_agree(key, m, seed, op):
 
     a = execute_plan(plan, x, op)
     b = InNetworkCollectives(plan).allreduce(x, op)
-    c, _ = packet_allreduce(
+    c, pstats = packet_allreduce(
         plan.topology, plan.trees, x, partition=plan.partition(m), op=op
     )
     d = tree_allreduce_spmd(plan, x, op=npop)
@@ -58,10 +57,18 @@ def test_four_engines_agree(key, m, seed, op):
     assert np.array_equal(c, want)
     assert np.array_equal(d, want)
 
+    # fifth executor: the fast cycle engine must reproduce the timing of
+    # the run that produced the (verified) payloads above
+    fstats = simulate_allreduce(
+        plan.topology, plan.trees, plan.partition(m), engine="fast"
+    )
+    assert fstats.cycles == pstats.cycles
+    assert fstats.flits_moved == pstats.flits_moved
+
 
 @given(
-    key=st.sampled_from(sorted(PLANS)),
-    m=st.integers(min_value=1, max_value=60),
+    key=plan_keys(),
+    m=message_sizes(max_value=60),
 )
 @settings(max_examples=12, deadline=None)
 def test_packet_and_cycle_simulators_agree_on_timing(key, m):
@@ -69,12 +76,13 @@ def test_packet_and_cycle_simulators_agree_on_timing(key, m):
     parts = plan.partition(m)
     x = np.ones((plan.num_nodes, m))
     _, pstats = packet_allreduce(plan.topology, plan.trees, x, partition=parts)
-    cstats = simulate_allreduce(plan.topology, plan.trees, parts)
-    assert pstats.cycles == cstats.cycles
-    assert pstats.flits_moved == cstats.flits_moved
+    for engine in ("reference", "fast"):
+        cstats = simulate_allreduce(plan.topology, plan.trees, parts, engine=engine)
+        assert pstats.cycles == cstats.cycles
+        assert pstats.flits_moved == cstats.flits_moved
 
 
-@given(seed=st.integers(min_value=0, max_value=200))
+@given(seed=seeds(200))
 @settings(max_examples=10, deadline=None)
 def test_float_engine_agreement(seed):
     # the functional executor and the SPMD runtime combine children in the

@@ -1,0 +1,188 @@
+"""Differential harness: the vectorized engine must be *cycle-exact*.
+
+``FastCycleSimulator`` replaces the reference simulator's per-flit Python
+round robin with closed-form vectorized arbitration. The two engines share
+no stepping code, so agreement on every observable is the correctness
+argument for the fast engine:
+
+- per-channel **per-cycle** flit counts (the full ``ChannelTrace``), which
+  pins the round-robin pointer trajectory, the credit loop and the
+  one-cycle hop latency — not just aggregate totals;
+- per-tree completion cycles and the entire :class:`CycleStats` (flit
+  conservation, utilization statistics, ...);
+
+across the (q, scheme, flow-control, message-size) matrix of the paper's
+embeddings plus hypothesis-randomized workloads on random embeddings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_plan
+from repro.simulator import (
+    CycleSimulator,
+    FastCycleSimulator,
+    make_engine,
+    simulate_allreduce,
+    trace_allreduce,
+)
+from repro.topology import Graph
+from repro.trees import SpanningTree, random_spanning_trees
+
+from tests.strategies import (
+    buffer_sizes,
+    get_plan,
+    link_capacities,
+    message_sizes,
+    plan_keys,
+    random_embedding,
+    seeds,
+    topology_names,
+)
+
+# the full equivalence matrix of the acceptance criteria: every scheme at
+# every radix the constructions support, with and without credit flow
+# control
+MATRIX_KEYS = sorted(
+    (q, scheme)
+    for q in (3, 4, 5, 7)
+    for scheme in ("low-depth", "low-depth-even", "edge-disjoint", "single")
+    if not (scheme == "low-depth" and q % 2 == 0)
+    and not (scheme == "low-depth-even" and q % 2 == 1)
+)
+
+
+def assert_cycle_exact(g, trees, flits, link_capacity=1, buffer_size=None):
+    """Both engines must produce identical traces and identical stats."""
+    ref = trace_allreduce(
+        g, trees, flits, link_capacity, buffer_size, engine="reference"
+    )
+    fast = trace_allreduce(g, trees, flits, link_capacity, buffer_size, engine="fast")
+    assert ref.cycles == fast.cycles
+    assert ref.activity.keys() == fast.activity.keys()
+    for ch in ref.activity:
+        assert ref.activity[ch] == fast.activity[ch], f"channel {ch} diverged"
+    sref = simulate_allreduce(
+        g, trees, flits, link_capacity, buffer_size=buffer_size, engine="reference"
+    )
+    sfast = simulate_allreduce(
+        g, trees, flits, link_capacity, buffer_size=buffer_size, engine="fast"
+    )
+    assert sref == sfast  # completion, per-tree cycles, flits, utilization
+
+
+@pytest.mark.parametrize("flow_control", [None, 2], ids=["credit-off", "credit-on"])
+@pytest.mark.parametrize(
+    "q,scheme", MATRIX_KEYS, ids=[f"{s}-q{q}" for q, s in MATRIX_KEYS]
+)
+def test_equivalence_matrix(q, scheme, flow_control):
+    """Cycle-exact on every (q, scheme, flow-control) acceptance cell."""
+    plan = get_plan(q, scheme)
+    m = 8 * plan.num_trees + 3
+    assert_cycle_exact(
+        plan.topology, plan.trees, plan.partition(m), buffer_size=flow_control
+    )
+
+
+@given(
+    key=plan_keys(),
+    m=message_sizes(max_value=60),
+    buf=buffer_sizes(),
+    cap=link_capacities(max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_equivalence_randomized_workloads(key, m, buf, cap):
+    """Hypothesis sweep over message sizes, buffer sizes and capacities."""
+    plan = get_plan(*key)
+    assert_cycle_exact(
+        plan.topology, plan.trees, plan.partition(m), link_capacity=cap, buffer_size=buf
+    )
+
+
+@given(
+    name=topology_names(["pf3", "hc4", "torus33", "rr"]),
+    k=st.integers(min_value=1, max_value=5),
+    seed=seeds(50),
+    m=message_sizes(max_value=30),
+    buf=buffer_sizes(max_value=4),
+    cap=link_capacities(max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_equivalence_random_embeddings(name, k, seed, m, buf, cap):
+    """Random overlapping embeddings exercise contended round robin far
+    harder than the paper's low-congestion constructions."""
+    g, trees = random_embedding(name, k, seed)
+    flits = [m + i for i in range(k)]  # unequal per-tree loads
+    assert_cycle_exact(g, trees, flits, link_capacity=cap, buffer_size=buf)
+
+
+class TestEngineParity:
+    """Beyond traces: the engines' public surfaces must agree."""
+
+    def test_zero_flit_trees(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        for engine in ("reference", "fast"):
+            stats = simulate_allreduce(g, [t], [0], engine=engine)
+            assert stats.cycles == 0
+            assert stats.flits_moved == 0
+
+    def test_mixed_zero_and_nonzero_trees(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        t1 = SpanningTree(0, {1: 0, 2: 1})
+        t2 = SpanningTree(0, {1: 0, 2: 0})
+        assert_cycle_exact(g, [t1, t2], [0, 9])
+
+    def test_channels_enumerate_identically(self):
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(10)
+        ref = CycleSimulator(plan.topology, plan.trees, parts)
+        fast = FastCycleSimulator(plan.topology, plan.trees, parts)
+        assert ref.channels() == fast.channels()
+        assert ref.channel_flit_counts() == fast.channel_flit_counts()
+
+    def test_input_validation_parity(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        for cls in (CycleSimulator, FastCycleSimulator):
+            with pytest.raises(ValueError):
+                cls(g, [t], [1, 2])
+            with pytest.raises(ValueError):
+                cls(g, [t], [-1])
+            with pytest.raises(ValueError):
+                cls(g, [t], [1], link_capacity=0)
+            with pytest.raises(ValueError):
+                cls(g, [t], [1], buffer_size=0)
+
+    def test_max_cycles_guard(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        with pytest.raises(RuntimeError):
+            simulate_allreduce(g, [t], [100], max_cycles=3, engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        t = SpanningTree(0, {1: 0})
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_allreduce(g, [t], [1], engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine("warp", g, [t], [1])
+
+    def test_stepwise_tree_done_trajectory(self):
+        """tree_done must flip at the same cycle in both engines."""
+        plan = get_plan(3, "edge-disjoint")
+        parts = plan.partition(11)
+        ref = make_engine("reference", plan.topology, plan.trees, parts)
+        fast = make_engine("fast", plan.topology, plan.trees, parts)
+        for cycle in range(200):
+            for i in range(len(plan.trees)):
+                assert ref.tree_done(i) == fast.tree_done(i), (cycle, i)
+            if ref.done():
+                assert fast.done()
+                break
+            ref.step()
+            fast.step()
+        else:
+            pytest.fail("simulation did not complete")

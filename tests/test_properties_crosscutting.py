@@ -12,30 +12,14 @@ from hypothesis import strategies as st
 
 from repro.core import aggregate_bandwidth, optimal_partition, tree_bandwidths
 from repro.simulator import simulate_allreduce
-from repro.topology import (
-    hypercube_graph,
-    polarfly_graph,
-    random_regular_graph,
-    torus_graph,
-)
+from repro.topology import polarfly_graph
 from repro.trees import (
     edge_congestion,
     greedy_trees,
     random_spanning_trees,
 )
 
-TOPOLOGIES = {
-    "pf3": lambda: polarfly_graph(3).graph,
-    "pf5": lambda: polarfly_graph(5).graph,
-    "hc4": lambda: hypercube_graph(4),
-    "torus33": lambda: torus_graph([3, 3]),
-    "rr": lambda: random_regular_graph(14, 4, seed=2),
-}
-
-
-def random_embedding(name, k, seed):
-    g = TOPOLOGIES[name]()
-    return g, random_spanning_trees(g, k, seed=seed)
+from tests.strategies import random_embedding, topology_names
 
 
 class TestAlgorithm1Invariants:
@@ -43,7 +27,7 @@ class TestAlgorithm1Invariants:
     embedding, not only the paper's."""
 
     @given(
-        name=st.sampled_from(sorted(TOPOLOGIES)),
+        name=topology_names(),
         k=st.integers(min_value=1, max_value=6),
         seed=st.integers(min_value=0, max_value=50),
     )
@@ -54,7 +38,7 @@ class TestAlgorithm1Invariants:
         assert all(0 < b <= 1 for b in bws)
 
     @given(
-        name=st.sampled_from(sorted(TOPOLOGIES)),
+        name=topology_names(),
         k=st.integers(min_value=1, max_value=6),
         seed=st.integers(min_value=0, max_value=50),
     )
@@ -69,7 +53,7 @@ class TestAlgorithm1Invariants:
         assert all(x <= 1 for x in load.values())
 
     @given(
-        name=st.sampled_from(sorted(TOPOLOGIES)),
+        name=topology_names(),
         k=st.integers(min_value=1, max_value=6),
         seed=st.integers(min_value=0, max_value=50),
     )
@@ -87,7 +71,7 @@ class TestAlgorithm1Invariants:
             assert any(load[e] == 1 for e in t.edges)
 
     @given(
-        name=st.sampled_from(sorted(TOPOLOGIES)),
+        name=topology_names(),
         k=st.integers(min_value=1, max_value=5),
         seed=st.integers(min_value=0, max_value=30),
     )
@@ -99,7 +83,7 @@ class TestAlgorithm1Invariants:
         assert [5 * b for b in one] == five
 
     @given(
-        name=st.sampled_from(sorted(TOPOLOGIES)),
+        name=topology_names(),
         k=st.integers(min_value=2, max_value=6),
         seed=st.integers(min_value=0, max_value=30),
     )
@@ -151,7 +135,7 @@ class TestCycleSimulatorInvariants:
     """The flit simulator can never beat physics."""
 
     @given(
-        name=st.sampled_from(["pf3", "hc4", "torus33"]),
+        name=topology_names(["pf3", "hc4", "torus33"]),
         k=st.integers(min_value=1, max_value=3),
         seed=st.integers(min_value=0, max_value=10),
         m=st.integers(min_value=1, max_value=24),

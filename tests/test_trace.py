@@ -65,6 +65,56 @@ class TestTrace:
             trace_allreduce(g, [t], [100], max_cycles=5)
 
 
+class TestTraceEdgeCases:
+    def test_zero_flit_trace_is_empty(self):
+        # m=0: the simulator finishes before moving anything; the trace
+        # must be a well-formed zero-cycle object, not a crash
+        g, t = chain(3)
+        for engine in ("reference", "fast"):
+            trace = trace_allreduce(g, [t], [0], engine=engine)
+            assert trace.cycles == 0
+            assert set(trace.activity) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+            assert all(series == [] for series in trace.activity.values())
+            assert trace.utilization((0, 1)) == 0.0
+            assert trace.busiest(2) == [((0, 1), 0.0), ((1, 0), 0.0)]
+
+    def test_idle_channels_have_zero_utilization(self):
+        # two trees, one carrying no flits: the channels used only by the
+        # idle tree appear in the trace with all-zero series
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        busy = SpanningTree(0, {1: 0, 2: 1, 3: 2})
+        idle = SpanningTree(0, {3: 0, 2: 3, 1: 2})
+        trace = trace_allreduce(g, [busy, idle], [12, 0])
+        assert trace.activity[(0, 3)] == [0] * trace.cycles
+        assert trace.utilization((0, 3)) == 0.0
+        assert trace.utilization((0, 1)) > 0
+        # idle channels rank last, tie-broken by channel tuple
+        ranked = trace.busiest(len(trace.activity))
+        idle_tail = [ch for ch, u in ranked if u == 0.0]
+        assert idle_tail == sorted(idle_tail)
+
+    def test_capacity_in_utilization_denominator(self):
+        # doubling capacity halves the time axis, so utilization is
+        # normalized by capacity*cycles, not by cycles alone
+        g, t = chain(2)
+        m = 40
+        wide = trace_allreduce(g, [t], [m], link_capacity=4)
+        assert wide.capacity == 4
+        assert wide.cycles == m // 4 + 2
+        assert wide.utilization((0, 1)) == pytest.approx(m / (4 * wide.cycles))
+        assert sum(wide.activity[(0, 1)]) == m
+
+    def test_activity_bounded_by_capacity(self):
+        plan = build_plan(3, "edge-disjoint")
+        for cap in (1, 3):
+            trace = trace_allreduce(
+                plan.topology, plan.trees, plan.partition(25), link_capacity=cap
+            )
+            assert all(
+                0 <= x <= cap for series in trace.activity.values() for x in series
+            )
+
+
 class TestWaterfall:
     def test_renders_rows_and_glyphs(self):
         g, t = chain(3)
