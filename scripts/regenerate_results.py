@@ -8,48 +8,71 @@ Writes:
 - results/scaling_weak.txt      — weak scaling (E-A7)
 - results/radix_comparison.txt  — equal-radix positioning (Section 1.3)
 - results/fabric_q5_lowdepth.json — sample router configuration (S31)
+
+Everything is produced through the :mod:`repro.sweep` engine, so
+``--workers N`` fans the independent cells out over a process pool and
+``--cache [DIR]`` persists cell results across runs (content-addressed,
+version-salted; see docs/API.md). The merge is deterministic: parallel
+and/or cached output is byte-identical to a serial run.
+
+``--check`` regenerates in memory and diffs against the output directory
+instead of writing — the CI drift gate for committed artifacts.
 """
 
-import os
+import argparse
 import sys
 
-from repro.analysis import (
-    crossover_sweep,
-    full_report,
-    render_crossover,
-    render_radix_comparison,
-    render_scaling,
-    scaling_sweep,
-)
-from repro.core import build_plan
-from repro.simulator import generate_fabric_config
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("outdir", nargs="?", default="results",
+                   help="artifact directory (default: results)")
+    p.add_argument("-j", "--workers", type=int, default=None,
+                   help="process-pool size (default: $REPRO_SWEEP_WORKERS or serial)")
+    p.add_argument("--cache", nargs="?", const="", default=None, metavar="DIR",
+                   help="enable the on-disk result cache; with no DIR uses "
+                        "$REPRO_SWEEP_CACHE or ~/.cache/repro-sweep")
+    p.add_argument("--serial", action="store_true",
+                   help="force serial, cache-less execution (the baseline path)")
+    p.add_argument("--check", action="store_true",
+                   help="diff regenerated artifacts against outdir instead of "
+                        "writing; exit 1 on drift")
+    return p
 
 
-def main() -> int:
-    outdir = sys.argv[1] if len(sys.argv) > 1 else "results"
-    os.makedirs(outdir, exist_ok=True)
+def make_runner(args):
+    from repro.sweep import SweepCache, SweepRunner
 
-    def write(name: str, text: str) -> None:
-        path = os.path.join(outdir, name)
-        with open(path, "w") as f:
-            f.write(text.rstrip() + "\n")
+    if args.serial:
+        return SweepRunner(workers=0, cache=None)
+    cache = None
+    if args.cache is not None:
+        cache = SweepCache(args.cache or None)
+    return SweepRunner(workers=args.workers, cache=cache)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.sweep import check_artifacts, generate_artifacts, write_artifacts
+
+    runner = make_runner(args)
+    artifacts = generate_artifacts(runner)
+
+    if args.check:
+        drifted = check_artifacts(args.outdir, artifacts)
+        for name in artifacts:
+            status = "DRIFT" if name in drifted else "ok"
+            print(f"{status:>6}  {args.outdir}/{name}")
+        print(runner.total.render(), file=sys.stderr)
+        if drifted:
+            print(f"{len(drifted)} artifact(s) drifted from {args.outdir}/; "
+                  f"rerun without --check to regenerate", file=sys.stderr)
+            return 1
+        return 0
+
+    for path in write_artifacts(args.outdir, artifacts):
         print(f"wrote {path}")
-
-    write("report.txt", full_report())
-    write("crossover_q11.txt",
-          render_crossover(11, crossover_sweep(11, exponents=range(4, 31, 2))))
-    write("scaling_strong.txt",
-          render_scaling(scaling_sweep(3, 64, m_total=1 << 24),
-                         "strong (m = 16M total)"))
-    write("scaling_weak.txt",
-          render_scaling(scaling_sweep(3, 64, m_per_node=4096),
-                         "weak (m = 4096 per node)"))
-    write("radix_comparison.txt",
-          render_radix_comparison([4, 6, 8, 10, 12, 14, 18, 24, 32]))
-
-    plan = build_plan(5, "low-depth")
-    write("fabric_q5_lowdepth.json",
-          generate_fabric_config(plan.topology, plan.trees).to_json())
+    print(runner.total.render(), file=sys.stderr)
     return 0
 
 

@@ -13,6 +13,7 @@ Experiment index (ids from DESIGN.md):
 from repro.analysis.crossover import (
     CrossoverPoint,
     crossover_sweep,
+    plan_metrics,
     render_crossover,
     winning_regions,
 )
@@ -21,7 +22,13 @@ from repro.analysis.figure2 import PAPER_VALUES, Figure2Data, figure2_data, rend
 from repro.analysis.errata import errata_report, printed_closed_form
 from repro.analysis.figure3 import Figure3Data, figure3_data, render_figure3
 from repro.analysis.figure4 import PAPER_PAIRS, Figure4Data, figure4_data, render_figure4
-from repro.analysis.figure5 import Figure5Row, figure5_data, render_figure5
+from repro.analysis.figure5 import (
+    Figure5Row,
+    figure5_cells,
+    figure5_data,
+    figure5_row,
+    render_figure5,
+)
 from repro.analysis.plotting import (
     ascii_plot,
     plot_figure5_bandwidth,
@@ -32,9 +39,16 @@ from repro.analysis.radix_efficiency import (
     radix_comparison,
     render_radix_comparison,
 )
-from repro.analysis.report import full_report
-from repro.analysis.scaling import ScalingRow, render_scaling, scaling_sweep
-from repro.analysis.table1 import Table1Row, render_table1, table1_data, table1_formulas
+from repro.analysis.report import full_report, report_cells
+from repro.analysis.scaling import ScalingRow, render_scaling, scaling_row, scaling_sweep
+from repro.analysis.table1 import (
+    Table1Row,
+    render_table1,
+    table1_cells,
+    table1_data,
+    table1_formulas,
+    table1_row,
+)
 from repro.analysis.table2 import (
     PAPER_TABLE2,
     render_table2,
@@ -72,9 +86,16 @@ __all__ = [
     "render_figure4",
     "PAPER_PAIRS",
     "Figure5Row",
+    "figure5_row",
+    "figure5_cells",
     "figure5_data",
     "render_figure5",
     "full_report",
+    "report_cells",
+    "plan_metrics",
+    "scaling_row",
+    "table1_row",
+    "table1_cells",
     "ScalingRow",
     "scaling_sweep",
     "render_scaling",

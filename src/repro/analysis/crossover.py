@@ -23,7 +23,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.collectives.costmodel import CostModel
 from repro.core.plan import build_plan
 
-__all__ = ["CrossoverPoint", "crossover_sweep", "winning_regions", "render_crossover"]
+__all__ = [
+    "CrossoverPoint",
+    "plan_metrics",
+    "crossover_sweep",
+    "winning_regions",
+    "render_crossover",
+]
+
+
+def plan_metrics(q: int, scheme: str) -> Dict[str, object]:
+    """The model-independent plan quantities the crossover sweep needs —
+    one ``(q, scheme)`` sweep cell (the expensive part: tree construction
+    plus Algorithm 1). The cheap per-``m`` cost-model evaluation stays in
+    the parent so custom :class:`CostModel` parameters never invalidate
+    cached cells."""
+    plan = build_plan(q, scheme)
+    return {
+        "aggregate_bandwidth": plan.aggregate_bandwidth,
+        "max_depth": plan.max_depth,
+    }
 
 
 @dataclass(frozen=True)
@@ -43,15 +62,20 @@ def crossover_sweep(
     model: Optional[CostModel] = None,
     exponents: Sequence[int] = tuple(range(4, 31, 2)),
     include_host: bool = True,
+    sweep=None,
 ) -> List[CrossoverPoint]:
     """Evaluate every applicable scheme at ``m = 2^e`` for each exponent."""
+    from repro.sweep.engine import default_runner
+    from repro.sweep.spec import cell
+
     if model is None:
         model = CostModel(alpha=1000.0, beta=1.0)
     p = q * q + q + 1
 
-    plans = {}
-    for scheme in ("low-depth" if q % 2 else "low-depth-even", "edge-disjoint"):
-        plans[scheme] = build_plan(q, scheme)
+    runner = sweep or default_runner()
+    schemes = ("low-depth" if q % 2 else "low-depth-even", "edge-disjoint")
+    metrics = runner.run([cell("plan_metrics", q=q, scheme=s) for s in schemes])
+    plans = dict(zip(schemes, metrics))
 
     out: List[CrossoverPoint] = []
     for e in exponents:
@@ -59,9 +83,9 @@ def crossover_sweep(
         times: Dict[str, float] = {
             "single-tree": model.in_network_tree(m, 1, 2),
         }
-        for scheme, plan in plans.items():
+        for scheme, met in plans.items():
             times[scheme] = model.in_network_tree(
-                m, plan.aggregate_bandwidth, plan.max_depth
+                m, met["aggregate_bandwidth"], met["max_depth"]
             )
         if include_host:
             times["ring"] = model.ring(p, m)

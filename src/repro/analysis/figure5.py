@@ -36,7 +36,7 @@ from repro.trees.hamiltonian import optimal_path_depth
 from repro.trees.lowdepth import low_depth_trees
 from repro.utils.numbertheory import prime_powers_in_range
 
-__all__ = ["Figure5Row", "figure5_data", "render_figure5"]
+__all__ = ["Figure5Row", "figure5_row", "figure5_cells", "figure5_data", "render_figure5"]
 
 LOW_DEPTH = 3
 
@@ -53,47 +53,68 @@ class Figure5Row:
     lowdepth_constructive: bool
 
 
+def figure5_row(q: int, constructive_threshold: int = 19) -> Figure5Row:
+    """One radix of the Figure 5 sweep — the per-``q`` sweep cell."""
+    opt = optimal_bandwidth(q)
+
+    # Hamiltonian series — constructive at every radix.
+    trees_count = len(max_disjoint_hamiltonian_pairs(q))
+    ham_norm = Fraction(trees_count) / opt
+
+    # Low-depth series.
+    if q % 2 == 0:
+        ld_norm, ld_depth, constructive = None, None, False
+    elif q <= constructive_threshold:
+        g = polarfly_graph(q).graph
+        trees = low_depth_trees(q)
+        ld_norm = aggregate_bandwidth(g, trees) / opt
+        ld_depth = max(t.depth for t in trees)
+        constructive = True
+    else:
+        ld_norm = Fraction(q, 2) / opt  # Corollary 7.7
+        ld_depth = LOW_DEPTH  # Theorem 7.5
+        constructive = False
+
+    return Figure5Row(
+        q=q,
+        radix=q + 1,
+        lowdepth_norm_bw=ld_norm,
+        hamiltonian_norm_bw=ham_norm,
+        lowdepth_depth=ld_depth,
+        hamiltonian_depth=optimal_path_depth(q),
+        hamiltonian_trees=trees_count,
+        lowdepth_constructive=constructive,
+    )
+
+
+def figure5_cells(
+    q_lo: int = 3, q_hi: int = 128, constructive_threshold: int = 19
+) -> List["Cell"]:
+    """The sweep cells of the Figure 5 radix sweep, in radix order."""
+    from repro.sweep.spec import cell
+
+    return [
+        cell("figure5_row", q=q, constructive_threshold=constructive_threshold)
+        for q in prime_powers_in_range(q_lo, q_hi)
+    ]
+
+
 def figure5_data(
     q_lo: int = 3,
     q_hi: int = 128,
     constructive_threshold: int = 19,
+    sweep=None,
 ) -> List[Figure5Row]:
-    """Compute both Figure 5 series for all prime powers in ``[q_lo, q_hi]``."""
-    rows: List[Figure5Row] = []
-    for q in prime_powers_in_range(q_lo, q_hi):
-        opt = optimal_bandwidth(q)
+    """Compute both Figure 5 series for all prime powers in ``[q_lo, q_hi]``.
 
-        # Hamiltonian series — constructive at every radix.
-        trees_count = len(max_disjoint_hamiltonian_pairs(q))
-        ham_norm = Fraction(trees_count) / opt
+    ``sweep`` is an optional :class:`repro.sweep.SweepRunner`; the per-``q``
+    rows are independent cells, so a parallel/cached runner accelerates
+    this sweep without changing its output (ordered merge).
+    """
+    from repro.sweep.engine import default_runner
 
-        # Low-depth series.
-        if q % 2 == 0:
-            ld_norm, ld_depth, constructive = None, None, False
-        elif q <= constructive_threshold:
-            g = polarfly_graph(q).graph
-            trees = low_depth_trees(q)
-            ld_norm = aggregate_bandwidth(g, trees) / opt
-            ld_depth = max(t.depth for t in trees)
-            constructive = True
-        else:
-            ld_norm = Fraction(q, 2) / opt  # Corollary 7.7
-            ld_depth = LOW_DEPTH  # Theorem 7.5
-            constructive = False
-
-        rows.append(
-            Figure5Row(
-                q=q,
-                radix=q + 1,
-                lowdepth_norm_bw=ld_norm,
-                hamiltonian_norm_bw=ham_norm,
-                lowdepth_depth=ld_depth,
-                hamiltonian_depth=optimal_path_depth(q),
-                hamiltonian_trees=trees_count,
-                lowdepth_constructive=constructive,
-            )
-        )
-    return rows
+    runner = sweep or default_runner()
+    return runner.run(figure5_cells(q_lo, q_hi, constructive_threshold))
 
 
 def render_figure5(rows: Sequence[Figure5Row]) -> str:

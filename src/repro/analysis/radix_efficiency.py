@@ -110,14 +110,19 @@ def radix_comparison(radix: int) -> List[NetworkPoint]:
     return points
 
 
-def render_radix_comparison(radixes: Sequence[int]) -> str:
+def render_radix_comparison(radixes: Sequence[int], sweep=None) -> str:
+    from repro.sweep.engine import default_runner
+    from repro.sweep.spec import cell
+
+    runner = sweep or default_runner()
+    per_radix = runner.run([cell("radix_points", radix=r) for r in radixes])
     lines = [
         "Equal-radix network comparison (Section 1.3 positioning)",
         f"{'radix':>6} {'network':>12} {'nodes':>8} {'diameter':>9} "
         f"{'disjoint trees':>15} {'low-depth':>10}",
     ]
-    for r in radixes:
-        for p in radix_comparison(r):
+    for points in per_radix:
+        for p in points:
             ld = "-" if p.low_depth_tree_depth is None else str(p.low_depth_tree_depth)
             lines.append(
                 f"{p.radix:>6} {p.network:>12} {p.nodes:>8} {p.diameter:>9} "

@@ -1,44 +1,87 @@
 """One-stop regeneration of every paper artifact (used by EXPERIMENTS.md).
 
 ``python -m repro.analysis.report`` prints all tables and figures.
+
+The report is assembled from independent sweep cells (one per radix /
+figure / table) batched through a single
+:class:`repro.sweep.SweepRunner` pass — pass ``sweep=`` a parallel or
+cache-backed runner to accelerate regeneration; the ordered merge keeps
+the rendered text bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Sequence, Tuple
 
-from repro.analysis.figure1 import figure1_data, render_figure1
-from repro.analysis.figure2 import figure2_data, render_figure2
-from repro.analysis.figure3 import figure3_data, render_figure3
-from repro.analysis.figure4 import figure4_data, render_figure4
-from repro.analysis.figure5 import figure5_data, render_figure5
-from repro.analysis.table1 import render_table1, table1_data
-from repro.analysis.table2 import render_table2, table2_data
+from repro.analysis.figure1 import render_figure1
+from repro.analysis.figure2 import render_figure2
+from repro.analysis.figure3 import render_figure3
+from repro.analysis.figure4 import render_figure4
+from repro.analysis.figure5 import figure5_cells, render_figure5
+from repro.analysis.table1 import table1_cells, render_table1
+from repro.analysis.table2 import render_table2
 
-__all__ = ["full_report"]
+__all__ = ["full_report", "report_cells"]
+
+TABLE1_QS = (3, 5, 7, 9, 11, 13)
 
 
-def full_report(q_hi: int = 128, figure1_q: int = 11) -> str:
-    """Regenerate every table/figure of the paper as one text report."""
-    sections: List[str] = []
-    sections.append(render_table1(table1_data([3, 5, 7, 9, 11, 13])))
-    sections.append(render_figure1(figure1_data(figure1_q)))
-    sections.append(render_figure2(figure2_data(3)))
-    sections.append(render_figure2(figure2_data(4)))
-    sections.append(render_figure3(figure3_data(min(figure1_q, 11))))
-    sections.append(render_table2(table2_data(4)))
-    sections.append(render_figure4(figure4_data(3)))
-    sections.append(render_figure4(figure4_data(4)))
-    rows5 = figure5_data(3, q_hi)
-    sections.append(render_figure5(rows5))
+def _sections(q_hi: int, figure1_q: int) -> List[Tuple[list, Callable]]:
+    """(cells, assemble) per report section, in print order.
+
+    ``assemble`` receives the section's result slice and returns the
+    rendered section strings (one or more).
+    """
     from repro.analysis.plotting import plot_figure5_bandwidth, plot_figure5_depth
+    from repro.sweep.spec import cell
 
-    sections.append(plot_figure5_bandwidth(rows5))
-    sections.append(plot_figure5_depth(rows5))
-    from repro.analysis.errata import errata_report
+    return [
+        (table1_cells(list(TABLE1_QS)), lambda rs: [render_table1(rs)]),
+        ([cell("figure1", q=figure1_q)], lambda rs: [render_figure1(rs[0])]),
+        ([cell("figure2", q=3)], lambda rs: [render_figure2(rs[0])]),
+        ([cell("figure2", q=4)], lambda rs: [render_figure2(rs[0])]),
+        (
+            [cell("figure3", q=min(figure1_q, 11), tree_index=0)],
+            lambda rs: [render_figure3(rs[0])],
+        ),
+        ([cell("table2", q=4)], lambda rs: [render_table2(rs[0])]),
+        ([cell("figure4", q=3)], lambda rs: [render_figure4(rs[0])]),
+        ([cell("figure4", q=4)], lambda rs: [render_figure4(rs[0])]),
+        (
+            figure5_cells(3, q_hi),
+            lambda rs: [
+                render_figure5(rs),
+                plot_figure5_bandwidth(rs),
+                plot_figure5_depth(rs),
+            ],
+        ),
+        ([cell("errata", q=3, d0=0, d1=1)], lambda rs: [rs[0]]),
+    ]
 
-    sections.append(errata_report())
-    return "\n\n".join(sections)
+
+def report_cells(q_hi: int = 128, figure1_q: int = 11) -> list:
+    """Every cell the full report needs, in section order — the batch a
+    parallel runner fans out in one pool pass."""
+    cells = []
+    for section_cells, _ in _sections(q_hi, figure1_q):
+        cells.extend(section_cells)
+    return cells
+
+
+def full_report(q_hi: int = 128, figure1_q: int = 11, sweep=None) -> str:
+    """Regenerate every table/figure of the paper as one text report."""
+    from repro.sweep.engine import default_runner
+
+    runner = sweep or default_runner()
+    sections = _sections(q_hi, figure1_q)
+    results = runner.run([c for cells, _ in sections for c in cells])
+
+    rendered: List[str] = []
+    pos = 0
+    for cells, assemble in sections:
+        rendered.extend(assemble(results[pos : pos + len(cells)]))
+        pos += len(cells)
+    return "\n\n".join(rendered)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,7 +23,7 @@ from repro.collectives.costmodel import CostModel
 from repro.core.bandwidth import optimal_bandwidth
 from repro.utils.numbertheory import prime_powers_in_range
 
-__all__ = ["ScalingRow", "scaling_sweep", "render_scaling"]
+__all__ = ["ScalingRow", "scaling_row", "scaling_sweep", "render_scaling"]
 
 
 @dataclass(frozen=True)
@@ -51,25 +51,48 @@ def _scheme_times(q: int, m: int, model: CostModel) -> Dict[str, float]:
     }
 
 
+def scaling_row(
+    q: int, m: int, alpha: float = 1000.0, beta: float = 1.0, gamma: float = 0.0
+) -> ScalingRow:
+    """One machine size of the scaling study — the ``(q, m)`` sweep cell."""
+    p = q * q + q + 1
+    model = CostModel(alpha=alpha, beta=beta, gamma=gamma)
+    return ScalingRow(q=q, nodes=p, m=m, times=_scheme_times(q, m, model))
+
+
 def scaling_sweep(
     q_lo: int = 3,
     q_hi: int = 64,
     m_per_node: Optional[int] = None,
     m_total: Optional[int] = None,
     model: Optional[CostModel] = None,
+    sweep=None,
 ) -> List[ScalingRow]:
     """Sweep prime powers; exactly one of ``m_per_node`` (weak scaling) or
     ``m_total`` (strong scaling) must be given."""
+    from repro.sweep.engine import default_runner
+    from repro.sweep.spec import cell
+
     if (m_per_node is None) == (m_total is None):
         raise ValueError("specify exactly one of m_per_node / m_total")
     if model is None:
         model = CostModel(alpha=1000.0, beta=1.0)
-    rows: List[ScalingRow] = []
+    runner = sweep or default_runner()
+    cells = []
     for q in prime_powers_in_range(q_lo, q_hi):
         p = q * q + q + 1
         m = m_total if m_total is not None else m_per_node * p
-        rows.append(ScalingRow(q=q, nodes=p, m=m, times=_scheme_times(q, m, model)))
-    return rows
+        cells.append(
+            cell(
+                "scaling_row",
+                q=q,
+                m=m,
+                alpha=model.alpha,
+                beta=model.beta,
+                gamma=model.gamma,
+            )
+        )
+    return runner.run(cells)
 
 
 def render_scaling(rows: Sequence[ScalingRow], title: str = "scaling") -> str:

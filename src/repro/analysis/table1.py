@@ -20,7 +20,7 @@ from typing import Dict, List, Sequence
 
 from repro.topology import V1, V2, W, polarfly_graph
 
-__all__ = ["Table1Row", "table1_data", "table1_formulas", "render_table1"]
+__all__ = ["Table1Row", "table1_row", "table1_cells", "table1_data", "table1_formulas", "render_table1"]
 
 
 @dataclass(frozen=True)
@@ -43,31 +43,40 @@ def table1_formulas(q: int) -> Dict[str, object]:
     }
 
 
-def table1_data(qs: Sequence[int]) -> List[Table1Row]:
+def table1_row(q: int) -> Table1Row:
+    """Measure Table 1 on the constructed ER_q — the per-``q`` sweep cell."""
+    pf = polarfly_graph(q)
+    counts = pf.counts()
+    nbr: Dict[str, Dict[str, int]] = {}
+    for cls, rep_set in ((W, pf.quadrics), (V1, pf.v1_vertices), (V2, pf.v2_vertices)):
+        if not rep_set:
+            nbr[cls] = {W: 0, V1: 0, V2: 0}
+            continue
+        # the neighborhood profile is identical across a class; verify
+        profiles = {tuple(sorted(pf.neighborhood_counts(v).items())) for v in rep_set}
+        assert len(profiles) == 1, f"non-uniform neighborhoods in class {cls} (q={q})"
+        nbr[cls] = pf.neighborhood_counts(rep_set[0])
+    want = table1_formulas(q)
+    return Table1Row(
+        q=q,
+        counts=counts,
+        nbr_counts=nbr,
+        matches_paper=(counts == want["counts"] and nbr == want["nbr_counts"]),
+    )
+
+
+def table1_cells(qs: Sequence[int]) -> List["Cell"]:
+    from repro.sweep.spec import cell
+
+    return [cell("table1_row", q=q) for q in qs]
+
+
+def table1_data(qs: Sequence[int], sweep=None) -> List[Table1Row]:
     """Measure Table 1 on the constructed ER_q for each (odd) ``q``."""
-    rows = []
-    for q in qs:
-        pf = polarfly_graph(q)
-        counts = pf.counts()
-        nbr: Dict[str, Dict[str, int]] = {}
-        for cls, rep_set in ((W, pf.quadrics), (V1, pf.v1_vertices), (V2, pf.v2_vertices)):
-            if not rep_set:
-                nbr[cls] = {W: 0, V1: 0, V2: 0}
-                continue
-            # the neighborhood profile is identical across a class; verify
-            profiles = {tuple(sorted(pf.neighborhood_counts(v).items())) for v in rep_set}
-            assert len(profiles) == 1, f"non-uniform neighborhoods in class {cls} (q={q})"
-            nbr[cls] = pf.neighborhood_counts(rep_set[0])
-        want = table1_formulas(q)
-        rows.append(
-            Table1Row(
-                q=q,
-                counts=counts,
-                nbr_counts=nbr,
-                matches_paper=(counts == want["counts"] and nbr == want["nbr_counts"]),
-            )
-        )
-    return rows
+    from repro.sweep.engine import default_runner
+
+    runner = sweep or default_runner()
+    return runner.run(table1_cells(qs))
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

@@ -6,6 +6,7 @@ Commands
 ``plan Q``          build an embedding plan and print its metrics
 ``simulate Q``      run the cycle-level simulator against the model
 ``report``          regenerate every paper table/figure as text
+``sweep``           parallel, cache-backed artifact regeneration
 ``export Q``        emit DOT/GraphML for the topology or an embedding
 """
 
@@ -45,6 +46,31 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("report", help="regenerate all paper tables/figures")
     s.add_argument("--qmax", type=int, default=128)
     s.add_argument("--figure1-q", type=int, default=11)
+
+    s = sub.add_parser(
+        "sweep",
+        help="regenerate artifacts through the parallel sweep engine",
+        description="Run the full artifact sweep through repro.sweep: "
+        "process-pool fan-out of independent cells plus a content-addressed "
+        "on-disk result cache. Output is byte-identical to the serial path.",
+    )
+    s.add_argument("-j", "--workers", type=int, default=None,
+                   help="process-pool size (default: $REPRO_SWEEP_WORKERS or serial)")
+    s.add_argument("--cache", nargs="?", const="", default=None, metavar="DIR",
+                   help="enable the result cache; with no DIR uses "
+                        "$REPRO_SWEEP_CACHE or ~/.cache/repro-sweep")
+    s.add_argument("--out", default=None, metavar="DIR",
+                   help="write the artifacts to DIR")
+    s.add_argument("--check", nargs="?", const="results", default=None,
+                   metavar="DIR", help="diff regenerated artifacts against DIR "
+                   "(default results/); exit 1 on drift")
+    s.add_argument("--qmax", type=int, default=128,
+                   help="figure 5 radix sweep upper bound")
+    s.add_argument("--figure1-q", type=int, default=11)
+    s.add_argument("--cache-stats", action="store_true",
+                   help="print cache statistics and exit")
+    s.add_argument("--clear-cache", action="store_true",
+                   help="delete every cache entry and exit")
 
     s = sub.add_parser("config", help="emit per-router fabric configuration JSON")
     s.add_argument("q", type=int)
@@ -116,6 +142,45 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import (
+        SweepCache,
+        SweepRunner,
+        check_artifacts,
+        generate_artifacts,
+        write_artifacts,
+    )
+
+    cache = SweepCache(args.cache or None) if args.cache is not None else None
+    if args.cache_stats or args.clear_cache:
+        cache = cache or SweepCache()
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cleared {removed} entries under {cache.root}")
+            return 0
+        for k, v in cache.stats().items():
+            print(f"{k:>10}: {v}")
+        return 0
+
+    runner = SweepRunner(workers=args.workers, cache=cache)
+    artifacts = generate_artifacts(runner, q_hi=args.qmax, figure1_q=args.figure1_q)
+
+    if args.check is not None:
+        drifted = check_artifacts(args.check, artifacts)
+        for name in artifacts:
+            print(f"{'DRIFT' if name in drifted else 'ok':>6}  {args.check}/{name}")
+        print(runner.total.render())
+        return 1 if drifted else 0
+    if args.out:
+        for path in write_artifacts(args.out, artifacts):
+            print(f"wrote {path}")
+    else:
+        for name, text in artifacts.items():
+            print(f"{len(text.encode()):>8} bytes  {name}")
+    print(runner.total.render())
+    return 0
+
+
 def _cmd_export(args) -> int:
     from repro.topology import polarfly_graph, singer_graph
     from repro.topology.export import (
@@ -179,6 +244,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "report": _cmd_report,
+    "sweep": _cmd_sweep,
     "config": _cmd_config,
     "export": _cmd_export,
 }

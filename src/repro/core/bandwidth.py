@@ -18,6 +18,7 @@ and the iteration involves repeated subtraction where floats would drift.
 
 from __future__ import annotations
 
+import heapq
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -41,6 +42,82 @@ def _as_fraction(b: Number) -> Fraction:
     if isinstance(b, float):
         return Fraction(b).limit_denominator(10**9)
     return Fraction(b)
+
+
+def _progressive_fill(
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    link_bandwidth: Number,
+    link_bandwidths: Optional[Mapping[Edge, Number]],
+) -> Tuple[List[Fraction], List[Tuple[Edge, Fraction, Tuple[int, ...]]]]:
+    """The shared core of Algorithm 1: progressive filling over the trees.
+
+    Returns ``(bandwidths, trace)`` where ``trace`` records each
+    bottleneck event as ``(edge, share, frozen tree ids)``.
+
+    The bottleneck edge (line 5 of Algorithm 1) is found with a
+    lazy-deletion min-heap of ``(remaining/congestion, edge)`` entries
+    instead of an O(E) scan per iteration: every time an edge's state
+    changes a fresh entry is pushed, and popped entries whose ratio no
+    longer matches the edge's current state are discarded. Each tree
+    freeze touches only that tree's edges, so the whole run costs
+    O(sum_i |T_i| log E) rather than O(iterations * E). Tie-breaking is
+    unchanged — the heap orders by ``(ratio, edge)``, exactly the old
+    scan's "smallest ratio, then smallest edge" rule — so results are
+    identical, not merely equivalent.
+    """
+    big_b = _as_fraction(link_bandwidth)
+    if big_b <= 0:
+        raise ValueError("link bandwidth must be positive")
+    for t in trees:
+        t.validate(g)
+
+    congestion: Dict[Edge, int] = edge_congestion(trees)
+    remaining: Dict[Edge, Fraction] = {}
+    for e in congestion:
+        if link_bandwidths is not None and e in link_bandwidths:
+            b_e = _as_fraction(link_bandwidths[e])
+            if b_e <= 0:
+                raise ValueError(f"link bandwidth for {e} must be positive")
+            remaining[e] = b_e
+        else:
+            remaining[e] = big_b
+
+    users: Dict[Edge, List[int]] = {}
+    for i, t in enumerate(trees):
+        for e in t.edges:
+            users.setdefault(e, []).append(i)
+
+    alive = set(range(len(trees)))
+    bandwidth: List[Fraction] = [Fraction(0)] * len(trees)
+    trace: List[Tuple[Edge, Fraction, Tuple[int, ...]]] = []
+
+    heap: List[Tuple[Fraction, Edge]] = [
+        (remaining[e] / c, e) for e, c in congestion.items() if c > 0
+    ]
+    heapq.heapify(heap)
+    while alive and heap:
+        ratio, e_min = heapq.heappop(heap)
+        c = congestion[e_min]
+        if c <= 0 or remaining[e_min] / c != ratio:
+            continue  # stale entry — the edge changed since this push
+        share = ratio  # == remaining[e_min] / congestion[e_min]
+        frozen = tuple(i for i in users[e_min] if i in alive)
+        touched = set()
+        for i in frozen:
+            bandwidth[i] = share  # line 7
+            for e in trees[i].edges:  # lines 8-10
+                remaining[e] -= share
+                congestion[e] -= 1
+                touched.add(e)
+            alive.discard(i)  # line 11
+        congestion[e_min] = 0  # line 12: edge removed
+        for e in touched:
+            if congestion[e] > 0:
+                heapq.heappush(heap, (remaining[e] / congestion[e], e))
+        trace.append((e_min, share, frozen))
+
+    return bandwidth, trace
 
 
 def tree_bandwidths(
@@ -70,54 +147,7 @@ def tree_bandwidths(
     is independent of tie-breaking among bottleneck edges (noted under
     Algorithm 1); we break ties by edge order for determinism.
     """
-    big_b = _as_fraction(link_bandwidth)
-    if big_b <= 0:
-        raise ValueError("link bandwidth must be positive")
-    for t in trees:
-        t.validate(g)
-
-    remaining: Dict[Edge, Fraction] = {}
-    congestion: Dict[Edge, int] = edge_congestion(trees)
-    for e in congestion:
-        if link_bandwidths is not None and e in link_bandwidths:
-            b_e = _as_fraction(link_bandwidths[e])
-            if b_e <= 0:
-                raise ValueError(f"link bandwidth for {e} must be positive")
-            remaining[e] = b_e
-        else:
-            remaining[e] = big_b
-
-    alive = set(range(len(trees)))
-    bandwidth: List[Fraction] = [Fraction(0)] * len(trees)
-    # tree ids using each edge (only edges with congestion matter)
-    users: Dict[Edge, List[int]] = {}
-    for i, t in enumerate(trees):
-        for e in t.edges:
-            users.setdefault(e, []).append(i)
-
-    while alive:
-        # line 5: bottleneck edge minimizing L(e) / C(e) among live edges
-        e_min = None
-        best = None
-        for e, c in congestion.items():
-            if c <= 0:
-                continue
-            ratio = remaining[e] / c
-            if best is None or ratio < best or (ratio == best and e < e_min):
-                best, e_min = ratio, e
-        if e_min is None:  # pragma: no cover - alive trees always have edges
-            break
-        share = remaining[e_min] / congestion[e_min]
-        for i in list(users[e_min]):
-            if i not in alive:
-                continue
-            bandwidth[i] = share  # line 7
-            for e in trees[i].edges:  # lines 8-10
-                remaining[e] -= share
-                congestion[e] -= 1
-            alive.discard(i)  # line 11
-        congestion[e_min] = 0  # line 12: edge removed
-
+    bandwidth, _ = _progressive_fill(g, trees, link_bandwidth, link_bandwidths)
     return bandwidth
 
 
@@ -214,8 +244,9 @@ def latency_aware_partition(
             t_final = t_candidate
             break
     assert t_final is not None
+    active_set = set(active)
     exact = [
-        max(Fraction(0), (t_final - lats[i]) * bws[i]) if i in set(active) else Fraction(0)
+        max(Fraction(0), (t_final - lats[i]) * bws[i]) if i in active_set else Fraction(0)
         for i in range(len(bws))
     ]
     parts = [int(x) for x in exact]
@@ -257,41 +288,18 @@ def allreduce_time(
 
 
 def bottleneck_trace(
-    g: Graph, trees: Sequence[SpanningTree], link_bandwidth: Number = 1
+    g: Graph,
+    trees: Sequence[SpanningTree],
+    link_bandwidth: Number = 1,
+    link_bandwidths: Optional[Mapping[Edge, Number]] = None,
 ) -> List[Tuple[Edge, Fraction, Tuple[int, ...]]]:
     """Diagnostic version of Algorithm 1: the sequence of bottleneck edges,
     the bandwidth share each froze, and the tree ids it froze. Useful for
-    understanding *where* an embedding loses bandwidth."""
-    big_b = _as_fraction(link_bandwidth)
-    for t in trees:
-        t.validate(g)
-    remaining: Dict[Edge, Fraction] = {}
-    congestion: Dict[Edge, int] = edge_congestion(trees)
-    for e in congestion:
-        remaining[e] = big_b
-    users: Dict[Edge, List[int]] = {}
-    for i, t in enumerate(trees):
-        for e in t.edges:
-            users.setdefault(e, []).append(i)
-    alive = set(range(len(trees)))
-    out: List[Tuple[Edge, Fraction, Tuple[int, ...]]] = []
-    while alive:
-        e_min, best = None, None
-        for e, c in congestion.items():
-            if c <= 0:
-                continue
-            ratio = remaining[e] / c
-            if best is None or ratio < best or (ratio == best and e < e_min):
-                best, e_min = ratio, e
-        if e_min is None:  # pragma: no cover
-            break
-        share = remaining[e_min] / congestion[e_min]
-        frozen = tuple(i for i in users[e_min] if i in alive)
-        for i in frozen:
-            for e in trees[i].edges:
-                remaining[e] -= share
-                congestion[e] -= 1
-            alive.discard(i)
-        congestion[e_min] = 0
-        out.append((e_min, share, frozen))
-    return out
+    understanding *where* an embedding loses bandwidth.
+
+    Shares the progressive-filling core with :func:`tree_bandwidths`,
+    including the per-link ``link_bandwidths`` override for heterogeneous
+    networks.
+    """
+    _, trace = _progressive_fill(g, trees, link_bandwidth, link_bandwidths)
+    return trace

@@ -1,0 +1,104 @@
+"""The ``results/`` artifact pipeline, expressed over the sweep engine.
+
+Single source of truth for what ``scripts/regenerate_results.py`` and the
+``repro sweep`` CLI produce: :func:`generate_artifacts` renders every
+artifact through one :class:`~repro.sweep.engine.SweepRunner` (so cells
+are fanned out / cached uniformly), :func:`write_artifacts` persists them
+with the historical trailing-newline convention, and
+:func:`check_artifacts` diffs regenerated text against a directory — the
+CI drift gate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sweep.engine import SweepRunner, default_runner
+from repro.sweep.spec import cell
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "generate_artifacts",
+    "write_artifacts",
+    "check_artifacts",
+]
+
+ARTIFACT_NAMES = (
+    "report.txt",
+    "crossover_q11.txt",
+    "scaling_strong.txt",
+    "scaling_weak.txt",
+    "radix_comparison.txt",
+    "fabric_q5_lowdepth.json",
+)
+
+
+def generate_artifacts(
+    runner: Optional[SweepRunner] = None,
+    q_hi: int = 128,
+    figure1_q: int = 11,
+) -> Dict[str, str]:
+    """Render every artifact; returns ``{filename: text}`` (unterminated)."""
+    from repro.analysis import (
+        crossover_sweep,
+        full_report,
+        render_crossover,
+        render_radix_comparison,
+        render_scaling,
+        scaling_sweep,
+    )
+
+    runner = runner or default_runner()
+    out: Dict[str, str] = {}
+    out["report.txt"] = full_report(q_hi=q_hi, figure1_q=figure1_q, sweep=runner)
+    out["crossover_q11.txt"] = render_crossover(
+        11, crossover_sweep(11, exponents=range(4, 31, 2), sweep=runner)
+    )
+    out["scaling_strong.txt"] = render_scaling(
+        scaling_sweep(3, 64, m_total=1 << 24, sweep=runner),
+        "strong (m = 16M total)",
+    )
+    out["scaling_weak.txt"] = render_scaling(
+        scaling_sweep(3, 64, m_per_node=4096, sweep=runner),
+        "weak (m = 4096 per node)",
+    )
+    out["radix_comparison.txt"] = render_radix_comparison(
+        [4, 6, 8, 10, 12, 14, 18, 24, 32], sweep=runner
+    )
+    out["fabric_q5_lowdepth.json"] = runner.run(
+        [cell("fabric_config", q=5, scheme="low-depth")]
+    )[0]
+    return out
+
+
+def _terminated(text: str) -> str:
+    return text.rstrip() + "\n"
+
+
+def write_artifacts(outdir: os.PathLike, artifacts: Dict[str, str]) -> List[str]:
+    """Write each artifact under ``outdir``; returns the paths written."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in artifacts.items():
+        path = outdir / name
+        path.write_text(_terminated(text))
+        written.append(str(path))
+    return written
+
+
+def check_artifacts(outdir: os.PathLike, artifacts: Dict[str, str]) -> List[str]:
+    """Diff regenerated artifacts against ``outdir``.
+
+    Returns the list of drifted (or missing) filenames; empty means the
+    committed artifacts are reproducible from the current code.
+    """
+    outdir = Path(outdir)
+    drifted = []
+    for name, text in artifacts.items():
+        path = outdir / name
+        if not path.exists() or path.read_text() != _terminated(text):
+            drifted.append(name)
+    return drifted

@@ -1,0 +1,223 @@
+"""Parallel, cache-backed sweep execution.
+
+:class:`SweepRunner` evaluates the cells of a :class:`~repro.sweep.spec.
+SweepSpec` with a ``concurrent.futures`` process pool and an optional
+:class:`~repro.sweep.cache.SweepCache`:
+
+1. every cell is first probed against the cache in the parent process
+   (so a warm run never pays pool startup for work it will not do);
+2. the misses fan out over the pool — or run inline when ``workers <= 1``
+   or only one cell missed;
+3. results are merged back **by cell index**, making parallel output
+   bit-identical to a serial run regardless of completion order, and
+   written to the cache by the parent.
+
+Summaries (:class:`SweepSummary`) expose hit/miss/corrupt counters, wall
+time and summed per-cell compute time, both per ``run()`` call
+(``runner.last_summary``) and cumulatively (``runner.total``).
+
+Worker count resolution: an explicit ``workers=`` wins, else
+``$REPRO_SWEEP_WORKERS``, else serial. ``workers=0``/``1`` are synonyms
+for in-process execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep.cache import SweepCache
+from repro.sweep.spec import Cell, SweepSpec, cell
+from repro.sweep.tasks import run_cell
+
+__all__ = [
+    "SweepRunner",
+    "SweepSummary",
+    "run_sweep",
+    "default_runner",
+    "resolve_workers",
+    "WORKERS_ENV",
+]
+
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit value, else ``$REPRO_SWEEP_WORKERS``, else 0 (serial)."""
+    if workers is not None:
+        return max(0, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return 0
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Counters for one (or an accumulation of) ``run()`` calls."""
+
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    wall_s: float = 0.0
+    compute_s: float = 0.0
+    workers: int = 0
+    cache_dir: Optional[str] = None
+
+    def __add__(self, other: "SweepSummary") -> "SweepSummary":
+        return SweepSummary(
+            cells=self.cells + other.cells,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            corrupt=self.corrupt + other.corrupt,
+            wall_s=self.wall_s + other.wall_s,
+            compute_s=self.compute_s + other.compute_s,
+            workers=max(self.workers, other.workers),
+            cache_dir=self.cache_dir or other.cache_dir,
+        )
+
+    def render(self) -> str:
+        cache = self.cache_dir if self.cache_dir else "disabled"
+        line = (
+            f"sweep: {self.cells} cells, {self.hits} cache hits, "
+            f"{self.misses} computed"
+        )
+        if self.corrupt:
+            line += f" ({self.corrupt} corrupt entries recomputed)"
+        line += (
+            f"; wall {self.wall_s:.3f}s, compute {self.compute_s:.3f}s, "
+            f"workers={self.workers}, cache={cache}"
+        )
+        return line
+
+
+def _timed_cell(c: Cell) -> Tuple[Any, float]:
+    """Pool worker: run one cell, returning (value, compute seconds)."""
+    t0 = time.perf_counter()
+    value = run_cell(c)
+    return value, time.perf_counter() - t0
+
+
+class SweepRunner:
+    """Executes sweeps; holds the worker-count and cache configuration.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size for cache misses; ``0``/``1`` runs inline.
+        ``None`` consults ``$REPRO_SWEEP_WORKERS``.
+    cache:
+        ``None`` disables caching; a path-like creates a
+        :class:`SweepCache` rooted there; a :class:`SweepCache` is used
+        as-is.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Union[None, str, os.PathLike, SweepCache] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if cache is None or isinstance(cache, SweepCache):
+            self.cache = cache
+        else:
+            self.cache = SweepCache(cache)
+        self.last_summary = SweepSummary()
+        self.total = SweepSummary()
+
+    # ------------------------------------------------------------- running
+
+    def run(self, spec: Union[SweepSpec, Sequence[Cell]]) -> List[Any]:
+        """Evaluate every cell, returning results in cell order."""
+        cells = list(spec)
+        t0 = time.perf_counter()
+        results: List[Any] = [None] * len(cells)
+        corrupt0 = self.cache.corrupt if self.cache else 0
+
+        missing: List[Tuple[int, Cell]] = []
+        hits = 0
+        for i, c in enumerate(cells):
+            if self.cache is not None:
+                hit, value = self.cache.get(c)
+                if hit:
+                    results[i] = value
+                    hits += 1
+                    continue
+            missing.append((i, c))
+
+        compute_s = 0.0
+        if missing:
+            if self.workers > 1 and len(missing) > 1:
+                pool_size = min(self.workers, len(missing))
+                chunk = max(1, len(missing) // (pool_size * 4))
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    outputs = pool.map(
+                        _timed_cell, [c for _, c in missing], chunksize=chunk
+                    )
+                    for (i, c), (value, dt) in zip(missing, outputs):
+                        results[i] = value
+                        compute_s += dt
+                        if self.cache is not None:
+                            self.cache.put(c, value)
+            else:
+                for i, c in missing:
+                    value, dt = _timed_cell(c)
+                    results[i] = value
+                    compute_s += dt
+                    if self.cache is not None:
+                        self.cache.put(c, value)
+
+        self.last_summary = SweepSummary(
+            cells=len(cells),
+            hits=hits,
+            misses=len(missing),
+            corrupt=(self.cache.corrupt - corrupt0) if self.cache else 0,
+            wall_s=time.perf_counter() - t0,
+            compute_s=compute_s,
+            workers=self.workers,
+            cache_dir=str(self.cache.root) if self.cache else None,
+        )
+        self.total = self.total + self.last_summary
+        return results
+
+    def run_one(self, task: str, **params: Any) -> Any:
+        """Convenience: evaluate a single cell."""
+        return self.run([cell(task, **params)])[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SweepRunner(workers={self.workers}, cache={self.cache!r})"
+
+
+_DEFAULT = None
+
+
+def default_runner() -> SweepRunner:
+    """The shared serial, cache-less runner consumers fall back to.
+
+    Keeps the library's default behavior pure: no processes spawned, no
+    files written, results computed exactly as before the sweep engine
+    existed. Opt into parallelism/caching by passing an explicit
+    :class:`SweepRunner` (``sweep=``) to the analysis entry points.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SweepRunner(workers=0, cache=None)
+    return _DEFAULT
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[Cell]],
+    workers: Optional[int] = None,
+    cache: Union[None, str, os.PathLike, SweepCache] = None,
+) -> Tuple[List[Any], SweepSummary]:
+    """One-shot helper: run ``spec`` and return (results, summary)."""
+    runner = SweepRunner(workers=workers, cache=cache)
+    results = runner.run(spec)
+    return results, runner.last_summary

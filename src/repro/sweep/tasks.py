@@ -1,0 +1,71 @@
+"""The sweep task registry: cell task names -> importable functions.
+
+Built-in tasks are declared as ``"module:attribute"`` strings and imported
+lazily — the registry itself imports nothing heavy, and pool workers
+resolve the same names independently, so a cell (a task name plus
+parameters) is all that ever crosses a process boundary.
+
+Task functions must be deterministic and return picklable values: both
+properties are load-bearing (determinism makes the content-addressed
+cache sound, picklability makes process-pool fan-out and on-disk
+persistence possible).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Union
+
+from repro.sweep.spec import Cell
+
+__all__ = ["BUILTIN_TASKS", "register", "resolve", "run_cell"]
+
+# name -> "module:attribute" (resolved lazily) or a callable (registered
+# at runtime; visible to pool workers via fork inheritance on POSIX).
+BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
+    "table1_row": "repro.analysis.table1:table1_row",
+    "figure1": "repro.analysis.figure1:figure1_data",
+    "figure2": "repro.analysis.figure2:figure2_data",
+    "figure3": "repro.analysis.figure3:figure3_data",
+    "table2": "repro.analysis.table2:table2_data",
+    "figure4": "repro.analysis.figure4:figure4_data",
+    "figure5_row": "repro.analysis.figure5:figure5_row",
+    "errata": "repro.analysis.errata:errata_report",
+    "plan_metrics": "repro.analysis.crossover:plan_metrics",
+    "scaling_row": "repro.analysis.scaling:scaling_row",
+    "radix_points": "repro.analysis.radix_efficiency:radix_comparison",
+    "fabric_config": "repro.sweep.tasks:fabric_config_json",
+}
+
+
+def register(name: str, fn: Union[str, Callable[..., Any]]) -> None:
+    """Add (or override) a task. ``fn`` is a callable or "module:attr"."""
+    BUILTIN_TASKS[name] = fn
+
+
+def resolve(name: str) -> Callable[..., Any]:
+    """Look up the callable behind a task name."""
+    try:
+        target = BUILTIN_TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep task {name!r}; known: {sorted(BUILTIN_TASKS)}"
+        ) from None
+    if callable(target):
+        return target
+    module, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module), attr)
+
+
+def run_cell(c: Cell) -> Any:
+    """Execute one cell in the current process."""
+    return resolve(c.task)(**c.kwargs)
+
+
+def fabric_config_json(q: int, scheme: str = "low-depth") -> str:
+    """Per-router fabric configuration JSON for a plan (S31 artifact)."""
+    from repro.core import build_plan
+    from repro.simulator import generate_fabric_config
+
+    plan = build_plan(q, scheme)
+    return generate_fabric_config(plan.topology, plan.trees).to_json()

@@ -69,6 +69,10 @@ class PolarFly:
             self._type[v] = V1
         for v in self.v2_vertices:
             self._type[v] = V2
+        # integer-coded types (W=0, V1=1, V2=2) for vectorized queries
+        self._type_codes = np.zeros(self.n, dtype=np.int64)
+        self._type_codes[list(self.v1_vertices)] = 1
+        self._type_codes[list(self.v2_vertices)] = 2
 
     # ---------------------------------------------------------------- build
 
@@ -134,14 +138,22 @@ class PolarFly:
             return self.q * self.q + f.mul(s, z)
         return self.n - 1
 
-    def dot(self, u: int, v: int) -> int:
-        """Dot product of the coordinate vectors of vertices ``u`` and ``v``."""
+    def dot(self, u, v):
+        """Dot product of the coordinate vectors of vertices ``u`` and ``v``.
+
+        Vectorized through the field's lookup tables (``vmul``/``vadd``)
+        rather than per-coordinate scalar arithmetic; ``u`` and ``v`` may
+        be equal-shaped arrays of vertex indices, in which case the dot
+        products are computed element-wise in one shot.
+        """
         f = self.field
-        a, b = self.vectors[u], self.vectors[v]
-        acc = 0
-        for k in range(3):
-            acc = f.add(acc, f.mul(int(a[k]), int(b[k])))
-        return acc
+        a = self.vectors[np.asarray(u, dtype=np.int64)]
+        b = self.vectors[np.asarray(v, dtype=np.int64)]
+        acc = f.vmul(a[..., 0], b[..., 0])
+        acc = f.vadd(acc, f.vmul(a[..., 1], b[..., 1]))
+        acc = f.vadd(acc, f.vmul(a[..., 2], b[..., 2]))
+        acc = np.asarray(acc)
+        return int(acc) if acc.ndim == 0 else acc
 
     def is_quadric(self, v: int) -> bool:
         return self._type[v] == W
@@ -155,11 +167,16 @@ class PolarFly:
         }
 
     def neighborhood_counts(self, v: int) -> Dict[str, int]:
-        """Counts of each vertex type among ``v``'s neighbors (Table 1 rows)."""
-        out = {W: 0, V1: 0, V2: 0}
-        for u in self.graph.neighbors(v):
-            out[self._type[u]] += 1
-        return out
+        """Counts of each vertex type among ``v``'s neighbors (Table 1 rows).
+
+        Vectorized: one gather of the neighbors' integer type codes plus a
+        ``bincount``, instead of a per-neighbor Python dict loop.
+        """
+        nbrs = np.fromiter(self.graph.neighbors(v), dtype=np.int64)
+        if nbrs.size == 0:
+            return {W: 0, V1: 0, V2: 0}
+        counts = np.bincount(self._type_codes[nbrs], minlength=3)
+        return {W: int(counts[0]), V1: int(counts[1]), V2: int(counts[2])}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PolarFly(q={self.q}, N={self.n}, radix={self.radix})"
