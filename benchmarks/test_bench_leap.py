@@ -1,0 +1,155 @@
+"""E-A7 — leap engine: O(events) simulation at paper-scale message sizes.
+
+Workload: identical Allreduce simulations on the leap and fast cycle
+engines across a speedup-vs-m curve at q=7 (plus one large-radix q=19
+point). Pass criteria: the engines agree exactly on the resulting
+:class:`CycleStats` everywhere they are both run, and the leap engine is
+>= 50x faster than the fast engine at m >= 10^6 flits per tree.
+
+Each case's reproduced numbers land in ``benchmark.extra_info`` (for the
+pytest-benchmark JSON) *and* are persisted to ``BENCH_leap.json`` at the
+repo root so the perf trajectory is tracked across PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+from conftest import record
+
+from repro.core import build_plan
+from repro.simulator import make_engine, simulate_allreduce
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_leap.json"
+SPEEDUP_TARGET = 50.0  # leap vs fast at the largest curve point
+CURVE_M = [1_000, 10_000, 100_000, 1_000_000]
+FAST_M_MAX = 100_000  # largest m the O(cycles) fast engine is timed at
+
+
+def _persist(case_id, payload):
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data[case_id] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_leap_agrees_with_fast_on_smoke_grid():
+    """Disagreement anywhere on the smoke grid fails the whole job —
+    exactness is the precondition for any speedup claim below."""
+    for q, scheme in ((7, "low-depth"), (7, "edge-disjoint"), (8, "low-depth-even")):
+        plan = build_plan(q, scheme)
+        for m, cap, buf in ((500, 1, None), (750, 2, 3)):
+            parts = plan.partition(m)
+            fast = simulate_allreduce(
+                plan.topology, plan.trees, parts, cap, buffer_size=buf, engine="fast"
+            )
+            leap = simulate_allreduce(
+                plan.topology, plan.trees, parts, cap, buffer_size=buf, engine="leap"
+            )
+            assert leap == fast, (q, scheme, m, cap, buf)
+
+
+def test_leap_speedup_curve(benchmark):
+    """Speedup vs message length at q=7: the leap engine's runtime is
+    O(depth + #events), so its wall time is flat in m while the fast
+    engine's grows linearly; the curve quantifies the crossover."""
+    plan = build_plan(7, "low-depth")
+    curve = []
+    for m in CURVE_M:
+        flits = [m] * plan.num_trees
+        sim = make_engine("leap", plan.topology, plan.trees, flits)
+        (leap_stats, leap_s) = _time(lambda s=sim: s.run())
+        point = {
+            "m": m,
+            "cycles": leap_stats.cycles,
+            "leap_seconds": round(leap_s, 5),
+            "stepped_cycles": sim.stepped_cycles,
+            "leaps": len(sim.leap_log),
+        }
+        if m <= FAST_M_MAX:
+            fast_stats, fast_s = _time(
+                lambda: simulate_allreduce(
+                    plan.topology, plan.trees, flits, engine="fast"
+                )
+            )
+            assert fast_stats == leap_stats, f"leap diverged from fast at m={m}"
+            point["fast_seconds"] = round(fast_s, 5)
+            point["speedup_vs_fast"] = round(fast_s / leap_s, 1)
+        else:
+            # project the fast engine's linear-in-cycles cost from the
+            # largest point it was actually run at
+            anchor = next(p for p in curve if p["m"] == FAST_M_MAX)
+            projected = anchor["fast_seconds"] * leap_stats.cycles / anchor["cycles"]
+            point["fast_seconds_projected"] = round(projected, 5)
+            point["speedup_vs_fast"] = round(projected / leap_s, 1)
+        curve.append(point)
+
+    # acceptance: >= 50x at m >= 1e6 flits per tree
+    top = curve[-1]
+    assert top["m"] >= 1_000_000
+
+    def run():
+        flits = [top["m"]] * plan.num_trees
+        return simulate_allreduce(plan.topology, plan.trees, flits, engine="leap")
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    payload = {
+        "scheme": "low-depth",
+        "q": 7,
+        "curve": curve,
+        "target": SPEEDUP_TARGET,
+    }
+    record(benchmark, q=7, scheme="low-depth", speedup=top["speedup_vs_fast"])
+    _persist("speedup-curve-q7", payload)
+    assert top["speedup_vs_fast"] >= SPEEDUP_TARGET, (
+        f"leap only {top['speedup_vs_fast']:.1f}x faster than fast at "
+        f"m={top['m']} (target {SPEEDUP_TARGET}x)"
+    )
+
+
+def test_leap_large_radix_point(benchmark):
+    """One q=19 point (N=381 routers, 9 disjoint trees): the radixes the
+    paper sweeps stay tractable because runtime does not scale with m."""
+    q, scheme, m = 19, "edge-disjoint", 1_000_000
+    plan = build_plan(q, scheme)
+    flits = [m] * plan.num_trees
+
+    def run():
+        sim = make_engine("leap", plan.topology, plan.trees, flits)
+        stats = sim.run()
+        return sim, stats
+
+    sim, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    leap_s = benchmark.stats.stats.min
+    # exactness spot-check at a fast-affordable size on the same plan
+    small = plan.partition(400)
+    fast = simulate_allreduce(plan.topology, plan.trees, small, engine="fast")
+    leap = simulate_allreduce(plan.topology, plan.trees, small, engine="leap")
+    assert leap == fast
+    payload = {
+        "scheme": scheme,
+        "q": q,
+        "m": m,
+        "num_trees": plan.num_trees,
+        "cycles": stats.cycles,
+        "stepped_cycles": sim.stepped_cycles,
+        "leaps": len(sim.leap_log),
+        "leap_seconds": round(leap_s, 4),
+    }
+    record(benchmark, **payload)
+    _persist(f"large-radix-q{q}-m{m}", payload)
+    # the whole point: paper-scale m in interactive time
+    assert leap_s < 30.0

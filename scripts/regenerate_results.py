@@ -37,6 +37,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="diff regenerated artifacts against outdir instead of "
                         "writing; exit 1 on drift")
+    p.add_argument("--measured-m", type=int, default=None, metavar="M",
+                   help="cycle-measure the figure5/crossover/scaling rows at "
+                        "M flits per tree on the leap engine (changes the "
+                        "artifacts: do not combine with --check)")
+    p.add_argument("--measured-qmax", type=int, default=19,
+                   help="largest odd q to measure (bounds construction cost)")
+    p.add_argument("--sim-engine", default="leap",
+                   choices=("reference", "fast", "leap"),
+                   help="cycle engine behind --measured-m")
     return p
 
 
@@ -56,7 +65,12 @@ def main(argv=None) -> int:
     from repro.sweep import check_artifacts, generate_artifacts, write_artifacts
 
     runner = make_runner(args)
-    artifacts = generate_artifacts(runner)
+    artifacts = generate_artifacts(
+        runner,
+        measured_m=args.measured_m,
+        measured_q_max=args.measured_qmax,
+        engine=args.sim_engine,
+    )
 
     if args.check:
         drifted = check_artifacts(args.outdir, artifacts)

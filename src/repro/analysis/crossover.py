@@ -32,17 +32,36 @@ __all__ = [
 ]
 
 
-def plan_metrics(q: int, scheme: str) -> Dict[str, object]:
+def plan_metrics(
+    q: int,
+    scheme: str,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
+) -> Dict[str, object]:
     """The model-independent plan quantities the crossover sweep needs —
     one ``(q, scheme)`` sweep cell (the expensive part: tree construction
     plus Algorithm 1). The cheap per-``m`` cost-model evaluation stays in
     the parent so custom :class:`CostModel` parameters never invalidate
-    cached cells."""
+    cached cells.
+
+    With ``measured_m`` set, a ``"measured_bandwidth"`` key is added:
+    the achieved aggregate bandwidth from running the flit-level schedule
+    with ``measured_m`` flits per tree on the selected cycle engine
+    (cheap at paper-scale sizes with the default ``"leap"`` engine). The
+    default (``None``) returns exactly the original mapping, so existing
+    cached cells stay valid."""
     plan = build_plan(q, scheme)
-    return {
+    out: Dict[str, object] = {
         "aggregate_bandwidth": plan.aggregate_bandwidth,
         "max_depth": plan.max_depth,
     }
+    if measured_m is not None:
+        from repro.analysis.measured import measured_aggregate_bandwidth
+
+        out["measured_bandwidth"] = measured_aggregate_bandwidth(
+            q, scheme, measured_m, engine=engine
+        )
+    return out
 
 
 @dataclass(frozen=True)
@@ -63,8 +82,14 @@ def crossover_sweep(
     exponents: Sequence[int] = tuple(range(4, 31, 2)),
     include_host: bool = True,
     sweep=None,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
 ) -> List[CrossoverPoint]:
-    """Evaluate every applicable scheme at ``m = 2^e`` for each exponent."""
+    """Evaluate every applicable scheme at ``m = 2^e`` for each exponent.
+
+    With ``measured_m`` set, the multi-tree schemes use the
+    cycle-measured aggregate bandwidth (``measured_m`` flits per tree on
+    the selected engine) instead of the Theorem 5.1 closed form."""
     from repro.sweep.engine import default_runner
     from repro.sweep.spec import cell
 
@@ -74,7 +99,12 @@ def crossover_sweep(
 
     runner = sweep or default_runner()
     schemes = ("low-depth" if q % 2 else "low-depth-even", "edge-disjoint")
-    metrics = runner.run([cell("plan_metrics", q=q, scheme=s) for s in schemes])
+    extra = {} if measured_m is None else {
+        "measured_m": measured_m, "engine": engine
+    }
+    metrics = runner.run(
+        [cell("plan_metrics", q=q, scheme=s, **extra) for s in schemes]
+    )
     plans = dict(zip(schemes, metrics))
 
     out: List[CrossoverPoint] = []
@@ -84,9 +114,8 @@ def crossover_sweep(
             "single-tree": model.in_network_tree(m, 1, 2),
         }
         for scheme, met in plans.items():
-            times[scheme] = model.in_network_tree(
-                m, met["aggregate_bandwidth"], met["max_depth"]
-            )
+            bw = met.get("measured_bandwidth") or met["aggregate_bandwidth"]
+            times[scheme] = model.in_network_tree(m, bw, met["max_depth"])
         if include_host:
             times["ring"] = model.ring(p, m)
             times["recursive-doubling"] = model.recursive_doubling(p, m)

@@ -51,10 +51,28 @@ class Figure5Row:
     hamiltonian_depth: int
     hamiltonian_trees: int  # constructively found
     lowdepth_constructive: bool
+    # cycle-measured normalized bandwidths (None unless the row was
+    # produced with ``measured_m``; see repro.analysis.measured)
+    lowdepth_measured_bw: Optional[float] = None
+    hamiltonian_measured_bw: Optional[float] = None
 
 
-def figure5_row(q: int, constructive_threshold: int = 19) -> Figure5Row:
-    """One radix of the Figure 5 sweep — the per-``q`` sweep cell."""
+def figure5_row(
+    q: int,
+    constructive_threshold: int = 19,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
+) -> Figure5Row:
+    """One radix of the Figure 5 sweep — the per-``q`` sweep cell.
+
+    With ``measured_m`` set, constructive radixes additionally carry the
+    *measured* normalized bandwidth: the flit-level schedule is run with
+    ``measured_m`` flits per tree on the selected cycle engine (the
+    cycle-leaping ``"leap"`` engine by default, which makes paper-scale
+    message sizes cheap) and ``T*m/cycles`` is normalized by the
+    Corollary 7.1 optimum. Default ``None`` leaves rows, sweep-cell cache
+    keys and rendered artifacts exactly as before.
+    """
     opt = optimal_bandwidth(q)
 
     # Hamiltonian series — constructive at every radix.
@@ -75,6 +93,17 @@ def figure5_row(q: int, constructive_threshold: int = 19) -> Figure5Row:
         ld_depth = LOW_DEPTH  # Theorem 7.5
         constructive = False
 
+    ld_meas = ham_meas = None
+    if measured_m is not None and q % 2 == 1 and q <= constructive_threshold:
+        from repro.analysis.measured import measured_aggregate_bandwidth
+
+        ld_meas = measured_aggregate_bandwidth(
+            q, "low-depth", measured_m, engine=engine
+        ) / float(opt)
+        ham_meas = measured_aggregate_bandwidth(
+            q, "edge-disjoint", measured_m, engine=engine
+        ) / float(opt)
+
     return Figure5Row(
         q=q,
         radix=q + 1,
@@ -84,17 +113,35 @@ def figure5_row(q: int, constructive_threshold: int = 19) -> Figure5Row:
         hamiltonian_depth=optimal_path_depth(q),
         hamiltonian_trees=trees_count,
         lowdepth_constructive=constructive,
+        lowdepth_measured_bw=ld_meas,
+        hamiltonian_measured_bw=ham_meas,
     )
 
 
 def figure5_cells(
-    q_lo: int = 3, q_hi: int = 128, constructive_threshold: int = 19
+    q_lo: int = 3,
+    q_hi: int = 128,
+    constructive_threshold: int = 19,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
 ) -> List["Cell"]:
-    """The sweep cells of the Figure 5 radix sweep, in radix order."""
+    """The sweep cells of the Figure 5 radix sweep, in radix order.
+
+    ``measured_m`` is only added to the cell parameters when set, so the
+    default cells keep their existing content addresses (cache hits
+    survive the flag's introduction)."""
     from repro.sweep.spec import cell
 
+    extra = {} if measured_m is None else {
+        "measured_m": measured_m, "engine": engine
+    }
     return [
-        cell("figure5_row", q=q, constructive_threshold=constructive_threshold)
+        cell(
+            "figure5_row",
+            q=q,
+            constructive_threshold=constructive_threshold,
+            **extra,
+        )
         for q in prime_powers_in_range(q_lo, q_hi)
     ]
 
@@ -104,17 +151,23 @@ def figure5_data(
     q_hi: int = 128,
     constructive_threshold: int = 19,
     sweep=None,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
 ) -> List[Figure5Row]:
     """Compute both Figure 5 series for all prime powers in ``[q_lo, q_hi]``.
 
     ``sweep`` is an optional :class:`repro.sweep.SweepRunner`; the per-``q``
     rows are independent cells, so a parallel/cached runner accelerates
-    this sweep without changing its output (ordered merge).
+    this sweep without changing its output (ordered merge). ``measured_m``
+    additionally cycle-measures the constructive radixes (see
+    :func:`figure5_row`).
     """
     from repro.sweep.engine import default_runner
 
     runner = sweep or default_runner()
-    return runner.run(figure5_cells(q_lo, q_hi, constructive_threshold))
+    return runner.run(
+        figure5_cells(q_lo, q_hi, constructive_threshold, measured_m, engine)
+    )
 
 
 def render_figure5(rows: Sequence[Figure5Row]) -> str:
@@ -123,13 +176,25 @@ def render_figure5(rows: Sequence[Figure5Row]) -> str:
         f"{'q':>4} {'radix':>6} {'lowdepth bw':>12} {'hamilton bw':>12} "
         f"{'ld depth':>9} {'ham depth':>10} {'constructive':>13}",
     ]
+    measured = any(
+        r.lowdepth_measured_bw is not None
+        or r.hamiltonian_measured_bw is not None
+        for r in rows
+    )
+    if measured:
+        lines[-1] += f" {'ld meas':>9} {'ham meas':>9}"
     for r in rows:
         ld = "   (n/a)" if r.lowdepth_norm_bw is None else f"{float(r.lowdepth_norm_bw):.4f}"
         ldd = "-" if r.lowdepth_depth is None else str(r.lowdepth_depth)
-        lines.append(
+        line = (
             f"{r.q:>4} {r.radix:>6} {ld:>12} {float(r.hamiltonian_norm_bw):>12.4f} "
             f"{ldd:>9} {r.hamiltonian_depth:>10} {str(r.lowdepth_constructive):>13}"
         )
+        if measured:
+            ldm = "-" if r.lowdepth_measured_bw is None else f"{r.lowdepth_measured_bw:.4f}"
+            hm = "-" if r.hamiltonian_measured_bw is None else f"{r.hamiltonian_measured_bw:.4f}"
+            line += f" {ldm:>9} {hm:>9}"
+        lines.append(line)
     odd = [r for r in rows if r.q % 2 == 1]
     lines.append(
         "Hamiltonian solution optimal (norm 1.0) at all odd radixes: "

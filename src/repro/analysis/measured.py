@@ -1,0 +1,53 @@
+"""Measured (cycle-simulated) aggregate bandwidth for the analysis cells.
+
+The Figure 5 / crossover / scaling rows are closed-form by default — the
+constructions plus Theorem 5.1 arithmetic. With the cycle-leaping engine
+(:mod:`repro.simulator.leap`) the same rows can instead be *measured*: run
+the actual flit-level schedule at paper-scale message sizes (millions of
+flits per tree finish in milliseconds, since the leap engine's wall clock
+is O(depth + #events), not O(cycles)) and report the achieved bandwidth.
+All analysis entry points take the measurement as an opt-in flag
+(``measured_m=...``) so default sweep cells, cache keys and artifact bytes
+are unchanged when it is off.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.plan import build_plan
+
+__all__ = ["measured_aggregate_bandwidth"]
+
+
+@lru_cache(maxsize=64)
+def measured_aggregate_bandwidth(
+    q: int,
+    scheme: str,
+    m_per_tree: int,
+    link_capacity: int = 1,
+    engine: str = "leap",
+) -> float:
+    """Achieved aggregate Allreduce bandwidth, in elements per cycle.
+
+    Builds the ``(q, scheme)`` plan, streams ``m_per_tree`` flits down
+    every spanning tree with the selected cycle engine and returns
+    ``T * m_per_tree / cycles`` — the measured counterpart of the plan's
+    closed-form ``aggregate_bandwidth`` (and its asymptote as
+    ``m_per_tree`` grows, once pipeline fill is amortized).
+    """
+    from repro.simulator.cycle import simulate_allreduce
+
+    if m_per_tree <= 0:
+        raise ValueError("m_per_tree must be positive")
+    plan = build_plan(q, scheme)
+    stats = simulate_allreduce(
+        plan.topology,
+        plan.trees,
+        [m_per_tree] * len(plan.trees),
+        link_capacity=link_capacity,
+        engine=engine,
+    )
+    if stats.cycles == 0:
+        return 0.0
+    return len(plan.trees) * m_per_tree / stats.cycles

@@ -26,7 +26,12 @@ __all__ = ["full_report", "report_cells"]
 TABLE1_QS = (3, 5, 7, 9, 11, 13)
 
 
-def _sections(q_hi: int, figure1_q: int) -> List[Tuple[list, Callable]]:
+def _sections(
+    q_hi: int,
+    figure1_q: int,
+    measured_m=None,
+    engine: str = "leap",
+) -> List[Tuple[list, Callable]]:
     """(cells, assemble) per report section, in print order.
 
     ``assemble`` receives the section's result slice and returns the
@@ -48,7 +53,7 @@ def _sections(q_hi: int, figure1_q: int) -> List[Tuple[list, Callable]]:
         ([cell("figure4", q=3)], lambda rs: [render_figure4(rs[0])]),
         ([cell("figure4", q=4)], lambda rs: [render_figure4(rs[0])]),
         (
-            figure5_cells(3, q_hi),
+            figure5_cells(3, q_hi, measured_m=measured_m, engine=engine),
             lambda rs: [
                 render_figure5(rs),
                 plot_figure5_bandwidth(rs),
@@ -59,21 +64,37 @@ def _sections(q_hi: int, figure1_q: int) -> List[Tuple[list, Callable]]:
     ]
 
 
-def report_cells(q_hi: int = 128, figure1_q: int = 11) -> list:
+def report_cells(
+    q_hi: int = 128,
+    figure1_q: int = 11,
+    measured_m=None,
+    engine: str = "leap",
+) -> list:
     """Every cell the full report needs, in section order — the batch a
     parallel runner fans out in one pool pass."""
     cells = []
-    for section_cells, _ in _sections(q_hi, figure1_q):
+    for section_cells, _ in _sections(q_hi, figure1_q, measured_m, engine):
         cells.extend(section_cells)
     return cells
 
 
-def full_report(q_hi: int = 128, figure1_q: int = 11, sweep=None) -> str:
-    """Regenerate every table/figure of the paper as one text report."""
+def full_report(
+    q_hi: int = 128,
+    figure1_q: int = 11,
+    sweep=None,
+    measured_m=None,
+    engine: str = "leap",
+) -> str:
+    """Regenerate every table/figure of the paper as one text report.
+
+    ``measured_m`` adds cycle-measured bandwidth columns to the Figure 5
+    section (the flit-level schedules run with ``measured_m`` flits per
+    tree on the selected cycle engine); the default leaves the report
+    byte-identical to previous releases."""
     from repro.sweep.engine import default_runner
 
     runner = sweep or default_runner()
-    sections = _sections(q_hi, figure1_q)
+    sections = _sections(q_hi, figure1_q, measured_m, engine)
     results = runner.run([c for cells, _ in sections for c in cells])
 
     rendered: List[str] = []

@@ -52,12 +52,31 @@ def _scheme_times(q: int, m: int, model: CostModel) -> Dict[str, float]:
 
 
 def scaling_row(
-    q: int, m: int, alpha: float = 1000.0, beta: float = 1.0, gamma: float = 0.0
+    q: int,
+    m: int,
+    alpha: float = 1000.0,
+    beta: float = 1.0,
+    gamma: float = 0.0,
+    measured_m: Optional[int] = None,
+    engine: str = "leap",
 ) -> ScalingRow:
-    """One machine size of the scaling study — the ``(q, m)`` sweep cell."""
+    """One machine size of the scaling study — the ``(q, m)`` sweep cell.
+
+    With ``measured_m`` set (odd ``q`` only — the even-q low-depth layout
+    has no construction), the two multi-tree schemes replace their
+    closed-form bandwidth with the cycle-measured one: the actual
+    schedule streams ``measured_m`` flits per tree on the selected engine
+    (cheap at paper-scale sizes with the default ``"leap"`` engine)."""
     p = q * q + q + 1
     model = CostModel(alpha=alpha, beta=beta, gamma=gamma)
-    return ScalingRow(q=q, nodes=p, m=m, times=_scheme_times(q, m, model))
+    times = _scheme_times(q, m, model)
+    if measured_m is not None and q % 2 == 1:
+        from repro.analysis.measured import measured_aggregate_bandwidth
+
+        for scheme, depth in (("low-depth", 3), ("edge-disjoint", (p - 1) // 2)):
+            bw = measured_aggregate_bandwidth(q, scheme, measured_m, engine=engine)
+            times[scheme] = model.in_network_tree(m, bw, depth)
+    return ScalingRow(q=q, nodes=p, m=m, times=times)
 
 
 def scaling_sweep(
@@ -67,9 +86,18 @@ def scaling_sweep(
     m_total: Optional[int] = None,
     model: Optional[CostModel] = None,
     sweep=None,
+    measured_m: Optional[int] = None,
+    measured_q_max: int = 0,
+    engine: str = "leap",
 ) -> List[ScalingRow]:
     """Sweep prime powers; exactly one of ``m_per_node`` (weak scaling) or
-    ``m_total`` (strong scaling) must be given."""
+    ``m_total`` (strong scaling) must be given.
+
+    ``measured_m`` switches rows with odd ``q <= measured_q_max`` to
+    cycle-measured multi-tree bandwidths (tree construction is O(N^2), so
+    the cap bounds the expensive part; the simulation itself is cheap on
+    the leap engine). The default ``measured_q_max=0`` measures nothing
+    and leaves every cell's content address unchanged."""
     from repro.sweep.engine import default_runner
     from repro.sweep.spec import cell
 
@@ -82,6 +110,9 @@ def scaling_sweep(
     for q in prime_powers_in_range(q_lo, q_hi):
         p = q * q + q + 1
         m = m_total if m_total is not None else m_per_node * p
+        extra = {}
+        if measured_m is not None and q % 2 == 1 and q <= measured_q_max:
+            extra = {"measured_m": measured_m, "engine": engine}
         cells.append(
             cell(
                 "scaling_row",
@@ -90,6 +121,7 @@ def scaling_sweep(
                 alpha=model.alpha,
                 beta=model.beta,
                 gamma=model.gamma,
+                **extra,
             )
         )
     return runner.run(cells)

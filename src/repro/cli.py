@@ -42,10 +42,24 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--scheme", default="low-depth",
                    choices=("low-depth", "edge-disjoint", "single"))
     s.add_argument("-m", type=int, default=600, help="total flits")
+    s.add_argument("--engine", default="leap",
+                   choices=("reference", "fast", "leap"),
+                   help="cycle engine (leap: O(events) wall clock, "
+                        "cycle-exact; default)")
+    s.add_argument("--buffer", type=int, default=None, metavar="SLOTS",
+                   help="per-flow credit buffer slots (default: unbounded)")
+    s.add_argument("--capacity", type=int, default=1,
+                   help="link capacity in flits/cycle")
 
     s = sub.add_parser("report", help="regenerate all paper tables/figures")
     s.add_argument("--qmax", type=int, default=128)
     s.add_argument("--figure1-q", type=int, default=11)
+    s.add_argument("--measured-m", type=int, default=None, metavar="M",
+                   help="add cycle-measured bandwidth columns (M flits per "
+                        "tree, run on the leap engine)")
+    s.add_argument("--sim-engine", default="leap",
+                   choices=("reference", "fast", "leap"),
+                   help="cycle engine behind --measured-m")
 
     s = sub.add_parser(
         "sweep",
@@ -67,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--qmax", type=int, default=128,
                    help="figure 5 radix sweep upper bound")
     s.add_argument("--figure1-q", type=int, default=11)
+    s.add_argument("--measured-m", type=int, default=None, metavar="M",
+                   help="cycle-measure the figure5/crossover/scaling "
+                        "artifacts at M flits per tree (leap engine)")
+    s.add_argument("--measured-qmax", type=int, default=19,
+                   help="largest odd q to measure (bounds construction cost)")
+    s.add_argument("--sim-engine", default="leap",
+                   choices=("reference", "fast", "leap"),
+                   help="cycle engine behind --measured-m")
     s.add_argument("--cache-stats", action="store_true",
                    help="print cache statistics and exit")
     s.add_argument("--clear-cache", action="store_true",
@@ -125,9 +147,16 @@ def _cmd_simulate(args) -> int:
 
     plan = build_plan(args.q, args.scheme)
     parts = plan.partition(args.m)
-    stats = simulate_allreduce(plan.topology, plan.trees, parts)
+    stats = simulate_allreduce(
+        plan.topology,
+        plan.trees,
+        parts,
+        link_capacity=args.capacity,
+        buffer_size=args.buffer,
+        engine=args.engine,
+    )
     fluid = fluid_simulate(plan.topology, plan.trees, args.m, hop_latency=1)
-    print(f"scheme={args.scheme} q={args.q} m={args.m}")
+    print(f"scheme={args.scheme} q={args.q} m={args.m} engine={args.engine}")
     print(f"  measured: {stats.cycles} cycles, "
           f"aggregate bandwidth {stats.aggregate_bandwidth:.3f} flits/cycle")
     print(f"  predicted: {float(fluid.makespan):.0f} cycles, "
@@ -138,7 +167,12 @@ def _cmd_simulate(args) -> int:
 def _cmd_report(args) -> int:
     from repro.analysis import full_report
 
-    print(full_report(q_hi=args.qmax, figure1_q=args.figure1_q))
+    print(full_report(
+        q_hi=args.qmax,
+        figure1_q=args.figure1_q,
+        measured_m=args.measured_m,
+        engine=args.sim_engine,
+    ))
     return 0
 
 
@@ -163,7 +197,14 @@ def _cmd_sweep(args) -> int:
         return 0
 
     runner = SweepRunner(workers=args.workers, cache=cache)
-    artifacts = generate_artifacts(runner, q_hi=args.qmax, figure1_q=args.figure1_q)
+    artifacts = generate_artifacts(
+        runner,
+        q_hi=args.qmax,
+        figure1_q=args.figure1_q,
+        measured_m=args.measured_m,
+        measured_q_max=args.measured_qmax,
+        engine=args.sim_engine,
+    )
 
     if args.check is not None:
         drifted = check_artifacts(args.check, artifacts)

@@ -21,7 +21,6 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.collectives.costmodel import CostModel
 from repro.topology.graph import Graph
-from repro.topology.routing import route_edges
 
 Message = Tuple[int, int, int]  # (src, dst, number of elements)
 
@@ -60,14 +59,37 @@ class Transcript:
 
 
 def transcript_link_loads(g: Graph, transcript: Transcript) -> List[Dict[Tuple[int, int], int]]:
-    """Per-round element load on every physical link under minimal routing."""
+    """Per-round element load on every physical link under minimal routing.
+
+    Vectorized through the graph's memoized
+    :class:`~repro.topology.routing.RouteIndex`: routes resolve to edge-id
+    arrays (one dict lookup per distinct pair, amortized across rounds)
+    and each round's accounting is a single ``np.bincount`` over the
+    concatenated ids, weighted by message sizes.
+    """
+    import numpy as np
+
+    from repro.topology.routing import route_index
+
+    idx = route_index(g)
+    edges = idx.edges
+    num_edges = len(edges)
     out: List[Dict[Tuple[int, int], int]] = []
     for rnd in transcript.rounds:
-        load: Dict[Tuple[int, int], int] = {}
-        for src, dst, n in rnd:
-            for e in route_edges(g, src, dst):
-                load[e] = load.get(e, 0) + n
-        out.append(load)
+        if not rnd:
+            out.append({})
+            continue
+        routes = [idx.route_ids(src, dst) for src, dst, _ in rnd]
+        ids = np.concatenate(routes)
+        weights = np.repeat(
+            np.asarray([n for _, _, n in rnd], dtype=np.int64),
+            [len(r) for r in routes],
+        )
+        totals = np.bincount(ids, weights=weights, minlength=num_edges).astype(
+            np.int64
+        )
+        nz = np.nonzero(totals)[0]
+        out.append({edges[i]: int(totals[i]) for i in nz})
     return out
 
 

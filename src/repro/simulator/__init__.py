@@ -8,7 +8,10 @@ Three fidelities, all exercising the Section 4.3/4.4 dataflow:
   per-channel fair arbitration (validates the Algorithm 1 bandwidth model
   and the depth-proportional latency); :mod:`repro.simulator.fastcycle`
   is its NumPy-vectorized cycle-exact twin, selectable via
-  ``simulate_allreduce(..., engine="fast")``;
+  ``simulate_allreduce(..., engine="fast")``, and
+  :mod:`repro.simulator.leap` the cycle-leaping engine
+  (``engine="leap"``) whose ``run()`` is O(depth + #events) in wall
+  clock, independent of message size, while staying cycle-exact;
 - :mod:`repro.simulator.fluid` — closed-form max-min rate model for large
   configurations.
 
@@ -27,9 +30,15 @@ from repro.simulator.engine import ENGINES, CycleEngine, make_engine
 from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.fluid import FluidResult, fluid_simulate
 from repro.simulator.functional import REDUCE_OPS, execute_plan, reduce_on_tree, verify_plan
+from repro.simulator.leap import LeapCycleSimulator
 from repro.simulator.network import Network
 from repro.simulator.packet import PacketLevelSimulator, PacketStats, packet_allreduce
-from repro.simulator.trace import ChannelTrace, render_waterfall, trace_allreduce
+from repro.simulator.trace import (
+    ChannelTrace,
+    CompressedTrace,
+    render_waterfall,
+    trace_allreduce,
+)
 from repro.simulator.router import (
     EmbeddingResources,
     RouterConfig,
@@ -50,6 +59,7 @@ __all__ = [
     "ENGINES",
     "make_engine",
     "FastCycleSimulator",
+    "LeapCycleSimulator",
     "FluidResult",
     "fluid_simulate",
     "REDUCE_OPS",
@@ -61,6 +71,7 @@ __all__ = [
     "PacketStats",
     "packet_allreduce",
     "ChannelTrace",
+    "CompressedTrace",
     "trace_allreduce",
     "render_waterfall",
     "EmbeddingResources",

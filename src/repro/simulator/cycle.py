@@ -43,11 +43,39 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
-__all__ = ["FlowKind", "CycleStats", "CycleSimulator", "simulate_allreduce"]
+__all__ = [
+    "FlowKind",
+    "CycleStats",
+    "CycleSimulator",
+    "simulate_allreduce",
+    "default_max_cycles",
+]
 
 REDUCE = "reduce"
 BROADCAST = "broadcast"
 FlowKind = str
+
+
+def default_max_cycles(
+    trees: Sequence[SpanningTree],
+    flits_per_tree: Sequence[int],
+    link_capacity: int,
+    buffer_size: Optional[int],
+) -> int:
+    """The shared ``run(max_cycles=None)`` budget of every cycle engine.
+
+    Generous: pipeline fill plus fully serialized worst case (plus the
+    credit-loop slowdown when buffers are tiny). All engines use this one
+    formula so their guard semantics are identical — same stop cycle,
+    same error — which the three-way differential suite asserts.
+    """
+    depth = max((t.depth for t in trees), default=0)
+    stall_factor = 1 if buffer_size is None else (
+        1 + max(1, 2 * link_capacity) // buffer_size
+    )
+    return 16 + 4 * depth + 8 * stall_factor * (sum(flits_per_tree) + 1) * max(
+        1, len(trees)
+    )
 
 
 @dataclass(frozen=True)
@@ -300,13 +328,8 @@ class CycleSimulator:
         """Run to completion of all trees; raises ``RuntimeError`` on
         stall or when ``max_cycles`` is exceeded."""
         if max_cycles is None:
-            # generous: fill + serialized worst case (+ credit-loop slowdown)
-            depth = max((t.depth for t in self.trees), default=0)
-            stall_factor = 1 if self.buffer_size is None else (
-                1 + max(1, 2 * self.capacity) // self.buffer_size
-            )
-            max_cycles = 16 + 4 * depth + 8 * stall_factor * (sum(self.m) + 1) * max(
-                1, len(self.trees)
+            max_cycles = default_max_cycles(
+                self.trees, self.m, self.capacity, self.buffer_size
             )
         completion = [0] * len(self.trees)
         done = [self._tree_done(i) for i in range(len(self.trees))]
@@ -356,8 +379,11 @@ def simulate_allreduce(
 
     ``engine="reference"`` runs the mechanism-faithful per-flit
     :class:`CycleSimulator`; ``engine="fast"`` runs the NumPy-vectorized
-    :class:`~repro.simulator.fastcycle.FastCycleSimulator`.  The two are
-    cycle-exact equivalents, so the choice only affects wall-clock time.
+    :class:`~repro.simulator.fastcycle.FastCycleSimulator`;
+    ``engine="leap"`` runs the cycle-leaping
+    :class:`~repro.simulator.leap.LeapCycleSimulator` (O(depth + #events)
+    wall clock, message-size independent).  All three are cycle-exact
+    equivalents, so the choice only affects wall-clock time.
     """
     from repro.simulator.engine import make_engine
 

@@ -1,21 +1,26 @@
 """Shared cycle-engine protocol and engine selection.
 
-Two interchangeable implementations of the flit-level pipelined Allreduce
-simulation exist:
+Three interchangeable implementations of the flit-level pipelined
+Allreduce simulation exist:
 
 - ``"reference"`` — :class:`repro.simulator.cycle.CycleSimulator`, the
   mechanism-faithful per-flit implementation (per-channel Python round
   robin; slow, easy to audit);
 - ``"fast"`` — :class:`repro.simulator.fastcycle.FastCycleSimulator`, a
   NumPy-vectorized engine that advances all channels per cycle with array
-  operations.
+  operations;
+- ``"leap"`` — :class:`repro.simulator.leap.LeapCycleSimulator`, the
+  cycle-leaping engine: detects the steady-state period of the pipeline,
+  verifies it exactly, and jumps whole multiples of it in closed form, so
+  ``run()`` wall-clock is O(depth + #events) instead of O(cycles).
 
-Both satisfy :class:`CycleEngine` and are **cycle-exact** equivalents:
+All satisfy :class:`CycleEngine` and are **cycle-exact** equivalents:
 identical per-channel per-cycle flit counts, per-tree completion cycles
 and :class:`~repro.simulator.cycle.CycleStats` on every workload
-(enforced by ``tests/test_fastcycle_equivalence.py``).  Tracing and the
-waterfall renderer (:mod:`repro.simulator.trace`) work against this
-protocol, so they are engine-agnostic.
+(enforced by ``tests/test_fastcycle_equivalence.py`` and
+``tests/test_leap.py``).  Tracing and the waterfall renderer
+(:mod:`repro.simulator.trace`) work against this protocol, so they are
+engine-agnostic.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ except ImportError:  # pragma: no cover
 
 from repro.simulator.cycle import CycleSimulator, CycleStats
 from repro.simulator.fastcycle import FastCycleSimulator
+from repro.simulator.leap import LeapCycleSimulator
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
@@ -70,6 +76,7 @@ class CycleEngine(Protocol):
 ENGINES = {
     "reference": CycleSimulator,
     "fast": FastCycleSimulator,
+    "leap": LeapCycleSimulator,
 }
 
 
@@ -81,7 +88,8 @@ def make_engine(
     link_capacity: int = 1,
     buffer_size: Optional[int] = None,
 ) -> "CycleEngine":
-    """Instantiate the named cycle engine (``"reference"`` or ``"fast"``)."""
+    """Instantiate the named cycle engine (``"reference"``, ``"fast"`` or
+    ``"leap"``)."""
     try:
         cls = ENGINES[engine]
     except KeyError:

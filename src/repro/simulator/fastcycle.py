@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.simulator.cycle import CycleStats
+from repro.simulator.cycle import CycleStats, default_max_cycles
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
@@ -272,7 +272,7 @@ class FastCycleSimulator:
         self._refresh_agg()
 
         # 2. per-flow budgets from the start-of-cycle snapshot
-        budget = self._flat[self._avail_idx] - self.sent
+        avail = self._flat[self._avail_idx] - self.sent
         if self.buffer_size is not None:
             snap = self.sent.copy()
             self._flat[self._grp_bcm_idx] = np.minimum.reduceat(
@@ -283,12 +283,28 @@ class FastCycleSimulator:
                 snap[self._cons_sent_fid],
                 self._flat[self._cons_state_idx],
             )
-            budget = np.minimum(budget, self.buffer_size - (snap - cons))
+            credit = self.buffer_size - (snap - cons)
+            budget = np.minimum(avail, credit)
+        else:
+            snap = credit = None
+            budget = avail
+        self._observe_budgets(avail, credit, snap)
 
         # 3. arbitration
         if self.capacity == 1:
             return self._arbitrate_single(budget)
         return self._arbitrate_general(budget)
+
+    def _observe_budgets(
+        self,
+        avail: np.ndarray,
+        credit: Optional[np.ndarray],
+        snap: Optional[np.ndarray],
+    ) -> None:
+        """Per-cycle hook with the start-of-cycle budget components.
+
+        A no-op here; the leap engine overrides it to collect the
+        steady-state evidence its closed-form jumps are licensed by."""
 
     def _arbitrate_single(self, budget: np.ndarray) -> int:
         """Capacity-1 round robin: each channel grants one flit to the
@@ -384,12 +400,8 @@ class FastCycleSimulator:
         """Run to completion of all trees; raises ``RuntimeError`` on
         stall or when ``max_cycles`` is exceeded (reference semantics)."""
         if max_cycles is None:
-            depth = max((t.depth for t in self.trees), default=0)
-            stall_factor = 1 if self.buffer_size is None else (
-                1 + max(1, 2 * self.capacity) // self.buffer_size
-            )
-            max_cycles = 16 + 4 * depth + 8 * stall_factor * (sum(self.m) + 1) * max(
-                1, len(self.trees)
+            max_cycles = default_max_cycles(
+                self.trees, self.m, self.capacity, self.buffer_size
             )
         T = self._T
         completion = [0] * T

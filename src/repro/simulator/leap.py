@@ -1,0 +1,543 @@
+"""Cycle-leaping "warp" engine: O(events) simulation, still cycle-exact.
+
+Both per-cycle engines (:class:`~repro.simulator.cycle.CycleSimulator` and
+:class:`~repro.simulator.fastcycle.FastCycleSimulator`) execute one
+``step()`` per simulated cycle, so wall-clock grows linearly with message
+size. But a round-robin water-filled pipeline is *eventually periodic*:
+once the pipeline fills, the per-cycle arbitration outcome and the
+per-flow advancement vector repeat with some small period ``P``, and every
+counter in the ``(4, T, n)`` state tensor advances by a fixed amount per
+period. Between discrete events — a flow draining, a credit regime
+boundary, a tree finishing — the simulator can therefore jump
+``Δ = k·P`` cycles in one vectorized update instead of stepping them.
+
+:class:`LeapCycleSimulator` does exactly that, in three phases:
+
+1. **detect** — after every single step it hashes the cycle's signature
+   (the granted flow/count vectors plus the round-robin pointers); two
+   consecutive identical periods of signatures flag a steady-state
+   candidate of period ``P``;
+2. **verify** — it then single-steps two more periods, recording exact
+   (not hashed) signatures, the per-flow budget components, and the
+   streaming-aggregation/credit min-group inputs. The second period must
+   reproduce the first bit-for-bit, and the full state delta over the two
+   periods must agree — that measured delta ``R`` is the per-period
+   advancement vector;
+3. **leap** — the future repeats the recorded period for as long as every
+   decision input keeps its *decision-relevant value*: arbitration reads
+   budgets only through ``clamp(b, 0, capacity+1)`` (only sign matters at
+   capacity 1), and the streaming mins stay linear while their argmin is
+   stable. Each of those conditions is a linear inequality in the number
+   of leapt periods ``k``, as is "no tree completes mid-leap" (a tree
+   cannot finish while any of its broadcast flows has ``sent < m_i``) and
+   the ``max_cycles`` guard. The engine takes the minimum, applies
+   ``state += k·R`` in one shot, and resumes stepping — so warm-up,
+   drains, credit stalls and completions are always *stepped* through,
+   which is what keeps every observable cycle-exact.
+
+``step()`` remains an honest single-cycle step (the engine is a drop-in
+:class:`~repro.simulator.engine.CycleEngine`; generic tracers work
+unchanged), ``run()`` leaps, and :meth:`trace_compressed` records leaps as
+``(repeat, period-block)`` runs so paper-scale traces stay O(events) in
+memory. Cycle-exactness versus both existing engines is enforced by the
+differential suite (``tests/test_fastcycle_equivalence.py``,
+``tests/test_leap.py``); the unbounded-in-``m`` speedup is recorded by
+``benchmarks/test_bench_leap.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulator.cycle import CycleStats, default_max_cycles
+from repro.simulator.fastcycle import FastCycleSimulator
+from repro.topology.graph import Graph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["LeapCycleSimulator"]
+
+_INF_K = 1 << 60  # "no constraint" leap bound
+_BIG = 1 << 62
+
+
+class _Steady:
+    """A verified steady state: per-period delta + leap validity bounds."""
+
+    __slots__ = (
+        "period", "k_bound", "r_flat", "r_sent", "r_chcum", "r_moved",
+        "phase_chd",
+    )
+
+    def __init__(self, period, k_bound, r_flat, r_sent, r_chcum, r_moved,
+                 phase_chd):
+        self.period = period
+        self.k_bound = k_bound          # max whole periods leapable now
+        self.r_flat = r_flat            # per-period delta of the state tensor
+        self.r_sent = r_sent            # per-period per-flow grants
+        self.r_chcum = r_chcum          # per-period per-channel flits
+        self.r_moved = r_moved          # per-period total flits
+        self.phase_chd = phase_chd      # (C, P) per-phase channel activity
+
+
+class LeapCycleSimulator(FastCycleSimulator):
+    """Cycle-leaping drop-in replacement for the per-cycle engines.
+
+    Identical observables to :class:`CycleSimulator` /
+    :class:`FastCycleSimulator` — same per-channel per-cycle flit counts,
+    per-tree completion cycles, :class:`CycleStats`, stall and
+    ``max_cycles`` semantics — but ``run()`` wall-clock is
+    O(depth + #events), independent of the flits-per-tree message size in
+    the steady-state-dominated regime.
+
+    Introspection: ``leap_log`` records ``(start_cycle, period, k)`` for
+    every jump taken; ``stepped_cycles`` counts cycles actually stepped.
+    """
+
+    #: hard cap on the detectable period (memory during verification is
+    #: O(period × flows), so the cap shrinks for very large embeddings)
+    P_MAX = 64
+    #: verification memory budget, in (period × flows) recorded values
+    _VERIFY_BUDGET = 1 << 19
+
+    def __init__(
+        self,
+        g: Graph,
+        trees: Sequence[SpanningTree],
+        flits_per_tree: Sequence[int],
+        link_capacity: int = 1,
+        buffer_size: Optional[int] = None,
+    ):
+        super().__init__(g, trees, flits_per_tree, link_capacity, buffer_size)
+        # flow -> channel index (for per-phase channel activity blocks)
+        flow_ch = np.zeros(self._F, dtype=np.int64)
+        for ci, ch in enumerate(self._chs):
+            for fid in self.channel_flows[ch]:
+                flow_ch[fid] = ci
+        self._flow_ch = flow_ch
+        # broadcast flows grouped (T, n-1): every spanning tree contributes
+        # exactly n-1 broadcast flows, created tree-major in __init__
+        n = self.n
+        if self._T and n > 1:
+            is_bc = np.ones(self._F, dtype=bool)
+            is_bc[0::2] = False  # flows alternate reduce/broadcast per edge
+            self._bc_fids = np.nonzero(is_bc)[0].reshape(self._T, n - 1)
+        else:
+            self._bc_fids = np.zeros((self._T, 0), dtype=np.int64)
+        self._p_max = max(1, min(self.P_MAX, self._VERIFY_BUDGET // max(1, self._F)))
+        # maps from decision inputs to the minimum.reduceat group feeding
+        # them, for principled forward-drift extrapolation of min-planes
+        self._grp_sizes = np.diff(
+            np.append(self._grp_off, len(self._child_up_idx))
+        ).astype(np.int64)
+        agg_pos = {int(ix): g for g, ix in enumerate(self._grp_agg_idx)}
+        self._avail_grp = np.asarray(
+            [agg_pos.get(int(ix), -1) for ix in self._avail_idx], dtype=np.int64
+        ) if self._F else np.zeros(0, dtype=np.int64)
+        bcm_pos = {int(ix): g for g, ix in enumerate(self._grp_bcm_idx)}
+        self._cons_grp = np.asarray(
+            [
+                -1 if self._cons_from_sent[f] else bcm_pos.get(int(ix), -1)
+                for f, ix in enumerate(self._cons_state_idx)
+            ],
+            dtype=np.int64,
+        ) if self._F else np.zeros(0, dtype=np.int64)
+        self.leap_log: List[Tuple[int, int, int]] = []
+        self.stepped_cycles = 0
+        self._reset_detector()
+
+    # ------------------------------------------------------- detector state
+
+    def _reset_detector(self) -> None:
+        self._ring: deque = deque(maxlen=2 * self._p_max)
+        self._last_seen: dict = {}
+        self._tick = 0          # steps since the detector was last reset
+        self._cooldown = 0      # steps to skip detection after a failed try
+        self._rec: Optional[dict] = None     # active verification record
+        self._steady: Optional[_Steady] = None
+        self._obs: Optional[tuple] = None    # budget components of the step
+
+    # --------------------------------------------------------- single steps
+
+    def _observe_budgets(self, avail, credit, snap) -> None:
+        if self._rec is not None:
+            self._obs = (
+                avail,
+                credit,
+                None if snap is None else snap[self._child_bcfid],
+            )
+
+    def step(self) -> int:
+        moved = super().step()
+        self.stepped_cycles += 1
+        if self._F:
+            self._detect()
+        return moved
+
+    # ------------------------------------------------------------ detection
+
+    def _signature(self) -> Tuple[bytes, bytes, bytes]:
+        return (
+            self._pending_fids.tobytes(),
+            self._pending_cnt[: len(self._pending_fids)].tobytes(),
+            self._rr.tobytes(),
+        )
+
+    def _detect(self) -> None:
+        """Post-step bookkeeping: advance the signature ring and, when a
+        candidate period shows two identical signature periods, run the
+        exact verification protocol."""
+        self._tick += 1
+        t = self._tick
+        sig = self._signature()
+        h = hash(sig)
+        self._ring.append(h)
+
+        if self._rec is not None:
+            self._verify_phase(sig)
+            return
+        if self._steady is not None:
+            return  # waiting for run()/trace loop to consume the leap
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._last_seen[h] = t
+            return
+
+        prev = self._last_seen.get(h)
+        self._last_seen[h] = t
+        if len(self._last_seen) > 65536:  # transient-heavy workload: reset
+            self._last_seen = {h: t}
+        if prev is None:
+            return
+        period = t - prev
+        if period < 1 or period > self._p_max or len(self._ring) < 2 * period:
+            return
+        ring = list(self._ring)
+        if ring[-period:] != ring[-2 * period: -period]:
+            return
+        # candidate confirmed on hashes: start exact 2-period verification
+        self._rec = {
+            "P": period,
+            "phase": 0,
+            "sig": [],          # exact signatures of the first period
+            "chd": [],          # per-phase channel activity (trace blocks)
+            "avail2": [],       # second-period budget components + min-group
+            "credit2": [],      # inputs: the values the leap extrapolates
+            "aggch2": [],       # from, so only the final period is kept
+            "bcmch2": [],
+            "flat0": self._flat.copy(),
+            "sent0": self.sent.copy(),
+        }
+
+    def _abort_verify(self) -> None:
+        self._rec = None
+        self._obs = None
+        self._cooldown = 4 * self._p_max
+
+    def _verify_phase(self, sig) -> None:
+        rec = self._rec
+        P = rec["P"]
+        j = rec["phase"]
+        obs, self._obs = self._obs, None
+        if obs is None:  # a no-flow step cannot happen with F > 0
+            self._abort_verify()
+            return
+        avail, credit, bcmch = obs
+        if len(self._pending_fids):
+            chd = np.bincount(
+                self._flow_ch[self._pending_fids],
+                weights=self._pending_cnt,
+                minlength=self._C,
+            ).astype(np.int64)
+        else:
+            chd = np.zeros(self._C, dtype=np.int64)
+        if j < P:
+            rec["sig"].append(sig)
+            rec["chd"].append(chd)
+            if j == P - 1:
+                rec["flat1"] = self._flat.copy()
+                rec["sent1"] = self.sent.copy()
+                rec["chcum1"] = self._ch_cum.copy()
+                rec["moved1"] = self.flits_moved
+        else:
+            jj = j - P
+            if sig != rec["sig"][jj]:
+                self._abort_verify()
+                return
+            rec["avail2"].append(avail)
+            rec["credit2"].append(credit)
+            rec["aggch2"].append(self._flat[self._child_up_idx])
+            rec["bcmch2"].append(bcmch)
+            if j == 2 * P - 1:
+                self._finalize_verify()
+                return
+        rec["phase"] = j + 1
+
+    # ----------------------------------------------------- leap constraints
+
+    def _regime_bound(self, v: np.ndarray, d: np.ndarray) -> int:
+        """Max k such that the decision-relevant value of a budget stays
+        constant for all of 1..k periods, given value ``v`` (in the period
+        preceding the leap) and measured per-period drift ``d``.
+
+        At capacity 1 arbitration only reads the budget's *sign*; at
+        larger capacities it reads ``clamp(v, 0, capacity+1)`` (grants are
+        ``min(v, t)`` for ``t <= capacity`` plus ``v > t`` comparisons)."""
+        if v.size == 0:
+            return _INF_K
+        out = np.full(v.shape, _INF_K, dtype=np.int64)
+        grow = d > 0
+        shrink = d < 0
+        if self.capacity == 1:
+            pos = v > 0
+            m = grow & ~pos          # non-positive, rising: until it turns > 0
+            out[m] = -v[m] // d[m]
+            m = shrink & pos         # positive, falling: until it hits 0
+            out[m] = (v[m] - 1) // -d[m]
+        else:
+            U = self.capacity + 1
+            high = v >= U
+            low = v <= 0
+            m = grow & low
+            out[m] = -v[m] // d[m]
+            m = shrink & high
+            out[m] = (v[m] - U) // -d[m]
+            out[~high & ~low & (d != 0)] = 0  # mid-range value must be exact
+        return int(out.min())
+
+    def _min_group_terms(
+        self, vals: np.ndarray, rates: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
+        """Per-group forward rate of every ``minimum.reduceat`` group, and
+        the max k for which those rates are licensed.
+
+        Each group's min advances at ``rstar``, the slowest rate among its
+        current argmin members, for as long as every faster-shrinking
+        non-argmin member keeps ``gap + k*delta >= 0`` — i.e. while the
+        argmin set is stable."""
+        if vals.size == 0:
+            return np.zeros(0, dtype=np.int64), _INF_K
+        off = self._grp_off
+        mins = np.minimum.reduceat(vals, off)
+        gaps = vals - np.repeat(mins, self._grp_sizes)
+        rstar = np.minimum.reduceat(np.where(gaps == 0, rates, _BIG), off)
+        delta = rates - np.repeat(rstar, self._grp_sizes)
+        neg = delta < 0
+        if not neg.any():
+            return rstar, _INF_K
+        return rstar, int((gaps[neg] // -delta[neg]).min())
+
+    def _completion_bound(self, r_sent: np.ndarray) -> int:
+        """Max k with no tree completing inside the leap: a tree cannot be
+        done while one of its broadcast flows still has ``sent < m_i``
+        (delivered <= sent), so keep one such flow per tree strictly below
+        ``m_i``. Picks, per tree, the flow that allows the longest leap."""
+        if not self._T or self._bc_fids.shape[1] == 0:
+            return _INF_K
+        sent = self.sent[self._bc_fids]           # (T, n-1)
+        g = r_sent[self._bc_fids]
+        headroom = (self._m_arr[:, None] - 1) - sent
+        ok = headroom >= 0
+        bound = np.where(ok & (g == 0), _INF_K, np.int64(-1))
+        moving = ok & (g > 0)
+        bound = np.where(moving, headroom // np.maximum(g, 1), bound)
+        per_tree = bound.max(axis=1)
+        per_tree = np.where(self._done_mask(), _INF_K, per_tree)
+        return max(int(per_tree.min()), 0)
+
+    def _finalize_verify(self) -> None:
+        rec, self._rec = self._rec, None
+        P = rec["P"]
+        # the measured per-period advancement must itself be periodic
+        r_flat = self._flat - rec["flat1"]
+        r_sent = self.sent - rec["sent1"]
+        if not (
+            np.array_equal(r_flat, rec["flat1"] - rec["flat0"])
+            and np.array_equal(r_sent, rec["sent1"] - rec["sent0"])
+        ):
+            self._cooldown = 4 * self._p_max
+            return
+        r_moved = self.flits_moved - rec["moved1"]
+        if r_moved <= 0:
+            # never leap a zero-progress period: the per-cycle engines'
+            # stall detection must fire at its exact cycle
+            self._cooldown = 4 * self._p_max
+            return
+
+        k = self._completion_bound(r_sent)
+        # forward per-period rates of the raw counters are exact while the
+        # grant pattern repeats; min-plane rates come from the argmin group
+        # (per phase), not from boundary deltas, which argmin churn between
+        # the two verify periods could silently corrupt
+        child_rates = r_flat[self._child_up_idx]
+        buffered = self.buffer_size is not None
+        bc_rates = r_sent[self._child_bcfid] if buffered else None
+        r_cons_base = (
+            np.where(
+                self._cons_from_sent,
+                r_sent[self._cons_sent_fid],
+                r_flat[self._cons_state_idx],
+            )
+            if buffered
+            else None
+        )
+        for j in range(P):
+            if k <= 0:
+                break
+            rstar_agg, gb = self._min_group_terms(rec["aggch2"][j], child_rates)
+            k = min(k, gb)
+            d_avail_src = np.where(
+                self._avail_grp >= 0,
+                rstar_agg[np.maximum(self._avail_grp, 0)]
+                if rstar_agg.size
+                else np.int64(0),
+                r_flat[self._avail_idx],
+            )
+            k = min(k, self._regime_bound(rec["avail2"][j], d_avail_src - r_sent))
+            if buffered:
+                rstar_bcm, bb = self._min_group_terms(rec["bcmch2"][j], bc_rates)
+                k = min(k, bb)
+                r_cons = np.where(
+                    self._cons_grp >= 0,
+                    rstar_bcm[np.maximum(self._cons_grp, 0)]
+                    if rstar_bcm.size
+                    else np.int64(0),
+                    r_cons_base,
+                )
+                k = min(k, self._regime_bound(rec["credit2"][j], r_cons - r_sent))
+        if k <= 0:
+            self._cooldown = 4 * self._p_max
+            return
+        self._steady = _Steady(
+            period=P,
+            k_bound=k,
+            r_flat=r_flat,
+            r_sent=r_sent,
+            r_chcum=self._ch_cum - rec["chcum1"],
+            r_moved=r_moved,
+            phase_chd=np.stack(rec["chd"], axis=1) if rec["chd"] else
+            np.zeros((self._C, P), dtype=np.int64),
+        )
+
+    # -------------------------------------------------------------- leaping
+
+    def _take_leap(self, cycle: int, max_cycles: int) -> Tuple[int, Optional[_Steady]]:
+        """Consume a verified steady state: returns (cycles leapt, the
+        steady record used) — (0, None) when no leap is possible now."""
+        st = self._steady
+        if st is None:
+            return 0, None
+        self._steady = None
+        k = min(st.k_bound, (max_cycles - cycle) // st.period)
+        if k < 1:
+            self._cooldown = 4 * self._p_max
+            return 0, None
+        self._flat += k * st.r_flat
+        self.sent += k * st.r_sent
+        self._ch_cum += k * st.r_chcum
+        self.flits_moved += k * st.r_moved
+        # the AGG plane is min-derived, not a linear counter: rebuild it
+        # exactly from the leapt UPD counters (matches the post-step
+        # invariant AGG == min over children's UPD)
+        self._refresh_agg()
+        self.leap_log.append((cycle, st.period, k))
+        self._reset_detector()
+        return k * st.period, st
+
+    # ----------------------------------------------------- engine protocol
+
+    def run(self, max_cycles: Optional[int] = None) -> CycleStats:
+        """Run to completion, leaping over steady-state stretches; raises
+        ``RuntimeError`` on stall or ``max_cycles`` exactly like the
+        per-cycle engines (same stop cycle, same partial state)."""
+        if max_cycles is None:
+            max_cycles = default_max_cycles(
+                self.trees, self.m, self.capacity, self.buffer_size
+            )
+        T = self._T
+        completion = [0] * T
+        done = self._done_mask()
+        cycle = 0
+        self._reset_detector()
+        while not done.all():
+            leapt, _ = self._take_leap(cycle, max_cycles)
+            if leapt:
+                cycle += leapt  # no completion/stall/guard events inside
+                continue
+            moved = self.step()
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            now = self._done_mask()
+            if moved == 0 and not len(self._pending_fids):
+                if not now.all():
+                    pending = [i for i in range(T) if not now[i]]
+                    if pending:
+                        raise RuntimeError(
+                            f"simulation stalled; pending trees {pending}"
+                        )
+            newly = now & ~done
+            if newly.any():
+                for i in np.nonzero(newly)[0]:
+                    completion[i] = cycle
+                done = done | now
+        total_cycles = max(completion) if completion else 0
+        loads = [int(c) for c in self._ch_cum if c > 0]
+        denom = total_cycles * self.capacity
+        return CycleStats(
+            cycles=total_cycles,
+            tree_completion=tuple(completion),
+            flits_per_tree=tuple(self.m),
+            link_capacity=self.capacity,
+            flits_moved=self.flits_moved,
+            buffer_size=self.buffer_size,
+            max_channel_utilization=(max(loads) / denom) if loads and denom else 0.0,
+            mean_channel_utilization=(
+                sum(loads) / (len(loads) * denom) if loads and denom else 0.0
+            ),
+        )
+
+    # -------------------------------------------------------------- tracing
+
+    def trace_compressed(self, max_cycles: Optional[int] = None):
+        """Step/leap to completion, returning a
+        :class:`~repro.simulator.trace.CompressedTrace` whose blocks are
+        ``(repeat, per-phase channel activity)`` runs — leaps become one
+        block repeated k times, so memory stays O(events), not O(cycles)."""
+        from repro.simulator.trace import CompressedTrace
+
+        if max_cycles is None:
+            max_cycles = 1 << 22
+        channels = self.channels()
+        blocks: List[Tuple[int, np.ndarray]] = []
+        dense: List[np.ndarray] = []
+
+        def flush() -> None:
+            if dense:
+                blocks.append((1, np.stack(dense, axis=1)))
+                dense.clear()
+
+        cycle = 0
+        self._reset_detector()
+        while not self.done():
+            leapt, st = self._take_leap(cycle, max_cycles)
+            if leapt:
+                flush()
+                blocks.append((leapt // st.period, st.phase_chd))
+                cycle += leapt
+                continue
+            prev = self._ch_cum.copy()
+            self.step()
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError("trace exceeded max cycles")
+            dense.append(self._ch_cum - prev)
+        flush()
+        return CompressedTrace(
+            cycles=cycle,
+            capacity=self.capacity,
+            channels=channels,
+            blocks=blocks,
+        )

@@ -1,9 +1,12 @@
 """Execution tracing for the cycle engines: per-cycle channel activity.
 
 Steps any :class:`~repro.simulator.engine.CycleEngine` (the reference
-per-flit simulator or the vectorized fast engine — both emit identical
-traces) and records, for every cycle, which directed channels moved how
-many flits. Renders a text "waterfall" — channels down the side, cycles
+per-flit simulator, the vectorized fast engine or the cycle-leaping leap
+engine — all emit identical traces) and records, for every cycle, which
+directed channels moved how many flits. The leap engine can additionally
+emit a :class:`CompressedTrace` of run-length encoded periods
+(``trace_allreduce(..., compress=True)``) whose memory is O(#events),
+not O(cycles). Renders a text "waterfall" — channels down the side, cycles
 across — that makes pipeline fill, steady state and drain visible, and
 exposes per-channel utilization series for analysis.
 
@@ -16,13 +19,20 @@ harness (``tests/test_fastcycle_equivalence.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
-__all__ = ["ChannelTrace", "trace_allreduce", "render_waterfall"]
+__all__ = [
+    "ChannelTrace",
+    "CompressedTrace",
+    "trace_allreduce",
+    "render_waterfall",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,56 @@ class ChannelTrace:
         return ranked[:top]
 
 
+@dataclass(frozen=True)
+class CompressedTrace:
+    """Channel activity as run-length ``(repeat, block)`` runs.
+
+    The leap engine emits one ``(1, block)`` run per stepped stretch and a
+    single ``(k, period-block)`` run per leap of ``k`` periods, so memory
+    stays O(#events x period) instead of O(cycles). Each block is a
+    ``(C, width)`` int array: ``C`` channels (in ``channels`` order) by
+    ``width`` cycles, repeated ``repeat`` times back to back.
+
+    :meth:`expand` reconstitutes the exact dense :class:`ChannelTrace`
+    (use only when total cycles are small enough to materialize);
+    :meth:`total_flits` and :meth:`utilization` work directly on the runs.
+    """
+
+    cycles: int
+    capacity: int
+    channels: List[Tuple[int, int]]
+    blocks: List[Tuple[int, np.ndarray]] = field(repr=False)
+
+    def total_flits(self) -> np.ndarray:
+        """Per-channel flit totals, in ``channels`` order, from the runs."""
+        tot = np.zeros(len(self.channels), dtype=np.int64)
+        for repeat, block in self.blocks:
+            tot += repeat * block.sum(axis=1)
+        return tot
+
+    def utilization(self, channel: Tuple[int, int]) -> float:
+        if self.cycles == 0 or self.capacity == 0:
+            return 0.0
+        i = self.channels.index(channel)
+        return int(self.total_flits()[i]) / (self.cycles * self.capacity)
+
+    def expand(self) -> ChannelTrace:
+        """Materialize the dense per-cycle trace (O(cycles) memory)."""
+        if self.blocks:
+            dense = np.concatenate(
+                [np.tile(block, (1, repeat)) for repeat, block in self.blocks],
+                axis=1,
+            )
+        else:
+            dense = np.zeros((len(self.channels), 0), dtype=np.int64)
+        activity = {
+            ch: [int(x) for x in dense[i]] for i, ch in enumerate(self.channels)
+        }
+        return ChannelTrace(
+            cycles=self.cycles, capacity=self.capacity, activity=activity
+        )
+
+
 def trace_allreduce(
     g: Graph,
     trees: Sequence[SpanningTree],
@@ -55,15 +115,24 @@ def trace_allreduce(
     buffer_size: Optional[int] = None,
     max_cycles: Optional[int] = None,
     engine: str = "reference",
-) -> ChannelTrace:
+    compress: bool = False,
+):
     """Step the selected cycle engine, recording channel activity.
 
-    ``engine`` selects ``"reference"`` or ``"fast"`` — both produce the
-    same :class:`ChannelTrace` (cycle-exact equivalence).
+    ``engine`` selects ``"reference"``, ``"fast"`` or ``"leap"`` — all
+    produce the same :class:`ChannelTrace` (cycle-exact equivalence).
+
+    With ``compress=True`` the result is a :class:`CompressedTrace` of
+    run-length ``(repeat, block)`` runs instead of a dense per-cycle
+    table. Engines exposing ``trace_compressed`` (the leap engine) emit
+    leaps as single runs, keeping memory O(events); other engines are
+    stepped and the dense columns are wrapped in one run.
     """
     from repro.simulator.engine import make_engine
 
     sim = make_engine(engine, g, trees, flits_per_tree, link_capacity, buffer_size)
+    if compress and hasattr(sim, "trace_compressed"):
+        return sim.trace_compressed(max_cycles=max_cycles)
     channels = sim.channels()
     series: List[List[int]] = [[] for _ in channels]
     prev = sim.channel_flit_counts()
@@ -80,7 +149,16 @@ def trace_allreduce(
             series[i].append(a - b)
         prev = now
     activity: Dict[Tuple[int, int], List[int]] = dict(zip(channels, series))
-    return ChannelTrace(cycles=cycle, capacity=link_capacity, activity=activity)
+    dense = ChannelTrace(cycles=cycle, capacity=link_capacity, activity=activity)
+    if compress:
+        block = np.asarray([activity[ch] for ch in channels], dtype=np.int64)
+        return CompressedTrace(
+            cycles=cycle,
+            capacity=link_capacity,
+            channels=list(channels),
+            blocks=[(1, block)] if cycle else [],
+        )
+    return dense
 
 
 def render_waterfall(

@@ -39,8 +39,19 @@ def generate_artifacts(
     runner: Optional[SweepRunner] = None,
     q_hi: int = 128,
     figure1_q: int = 11,
+    measured_m: Optional[int] = None,
+    measured_q_max: int = 19,
+    engine: str = "leap",
 ) -> Dict[str, str]:
-    """Render every artifact; returns ``{filename: text}`` (unterminated)."""
+    """Render every artifact; returns ``{filename: text}`` (unterminated).
+
+    ``measured_m`` switches the Figure 5 / crossover / scaling artifacts
+    to cycle-measured bandwidths (``measured_m`` flits per tree on the
+    selected engine — paper-scale sizes are cheap on the default
+    cycle-leaping ``"leap"`` engine; construction cost is bounded by
+    ``measured_q_max``). Default ``None`` keeps every artifact
+    byte-identical to the closed-form pipeline, which the CI drift gate
+    relies on."""
     from repro.analysis import (
         crossover_sweep,
         full_report,
@@ -52,16 +63,25 @@ def generate_artifacts(
 
     runner = runner or default_runner()
     out: Dict[str, str] = {}
-    out["report.txt"] = full_report(q_hi=q_hi, figure1_q=figure1_q, sweep=runner)
+    out["report.txt"] = full_report(
+        q_hi=q_hi, figure1_q=figure1_q, sweep=runner,
+        measured_m=measured_m, engine=engine,
+    )
     out["crossover_q11.txt"] = render_crossover(
-        11, crossover_sweep(11, exponents=range(4, 31, 2), sweep=runner)
+        11, crossover_sweep(
+            11, exponents=range(4, 31, 2), sweep=runner,
+            measured_m=measured_m, engine=engine,
+        )
+    )
+    scaling_kwargs = dict(
+        measured_m=measured_m, measured_q_max=measured_q_max, engine=engine
     )
     out["scaling_strong.txt"] = render_scaling(
-        scaling_sweep(3, 64, m_total=1 << 24, sweep=runner),
+        scaling_sweep(3, 64, m_total=1 << 24, sweep=runner, **scaling_kwargs),
         "strong (m = 16M total)",
     )
     out["scaling_weak.txt"] = render_scaling(
-        scaling_sweep(3, 64, m_per_node=4096, sweep=runner),
+        scaling_sweep(3, 64, m_per_node=4096, sweep=runner, **scaling_kwargs),
         "weak (m = 4096 per node)",
     )
     out["radix_comparison.txt"] = render_radix_comparison(

@@ -117,18 +117,27 @@ class SweepRunner:
         ``None`` disables caching; a path-like creates a
         :class:`SweepCache` rooted there; a :class:`SweepCache` is used
         as-is.
+    release_caches:
+        After every batch that computed at least one cell, drop the
+        process-wide topology memos
+        (:func:`repro.topology.clear_polarfly_cache`) so a long-lived
+        runner's memory stays bounded by the largest single batch, not by
+        every radix ever visited. On by default; pass ``False`` to keep
+        topologies warm across batches.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Union[None, str, os.PathLike, SweepCache] = None,
+        release_caches: bool = True,
     ):
         self.workers = resolve_workers(workers)
         if cache is None or isinstance(cache, SweepCache):
             self.cache = cache
         else:
             self.cache = SweepCache(cache)
+        self.release_caches = release_caches
         self.last_summary = SweepSummary()
         self.total = SweepSummary()
 
@@ -173,6 +182,15 @@ class SweepRunner:
                     compute_s += dt
                     if self.cache is not None:
                         self.cache.put(c, value)
+            if self.release_caches:
+                # Computing cells may have populated the process-wide
+                # topology memos (directly in the serial path, or in the
+                # parent while probing); drop them so batches don't pin
+                # one graph per radix ever visited. Hit-only batches
+                # build nothing and skip the clear.
+                from repro.topology import clear_polarfly_cache
+
+                clear_polarfly_cache()
 
         self.last_summary = SweepSummary(
             cells=len(cells),

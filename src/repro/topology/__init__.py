@@ -34,7 +34,14 @@ from repro.topology.layout_even import (
     find_nucleus,
     polarfly_even_layout,
 )
-from repro.topology.polarfly import V1, V2, PolarFly, W, polarfly_graph
+from repro.topology.polarfly import (
+    V1,
+    V2,
+    PolarFly,
+    W,
+    clear_polarfly_cache,
+    polarfly_graph,
+)
 from repro.topology.projective import ProjectivePlane, projective_plane
 from repro.topology.routing import minimal_route, route_edges, traffic_per_link
 from repro.topology.validate import ERValidationReport, infer_q, validate_er_graph
@@ -63,6 +70,7 @@ __all__ = [
     "random_regular_graph",
     "PolarFly",
     "polarfly_graph",
+    "clear_polarfly_cache",
     "ProjectivePlane",
     "projective_plane",
     "W",

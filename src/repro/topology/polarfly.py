@@ -30,7 +30,7 @@ from repro.gf import get_field
 from repro.topology.graph import Graph
 from repro.utils.numbertheory import prime_power_decomposition
 
-__all__ = ["PolarFly", "polarfly_graph", "W", "V1", "V2"]
+__all__ = ["PolarFly", "polarfly_graph", "clear_polarfly_cache", "W", "V1", "V2"]
 
 # Vertex-type tags (Table 1).
 W = "W"
@@ -182,7 +182,18 @@ class PolarFly:
         return f"PolarFly(q={self.q}, N={self.n}, radix={self.radix})"
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=8)
 def polarfly_graph(q: int) -> PolarFly:
-    """Memoized ER_q construction for prime-power ``q``."""
+    """Memoized ER_q construction for prime-power ``q``.
+
+    The memo is a small LRU, not unbounded: each instance holds the full
+    O(N·d) adjacency (N = q^2+q+1), which a long-lived sweep worker
+    visiting many radixes would otherwise pin forever. Call
+    :func:`clear_polarfly_cache` to drop every cached instance (the sweep
+    engine does this between batches)."""
     return PolarFly(q)
+
+
+def clear_polarfly_cache() -> None:
+    """Drop every memoized :class:`PolarFly` instance."""
+    polarfly_graph.cache_clear()

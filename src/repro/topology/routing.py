@@ -8,11 +8,20 @@ by the host-based Allreduce baselines to account per-link traffic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.topology.graph import Graph, canonical_edge
 
-__all__ = ["minimal_route", "route_edges", "traffic_per_link"]
+__all__ = [
+    "minimal_route",
+    "route_edges",
+    "route_index",
+    "RouteIndex",
+    "traffic_per_link",
+]
 
 
 def minimal_route(g: Graph, src: int, dst: int) -> List[int]:
@@ -38,6 +47,60 @@ def route_edges(g: Graph, src: int, dst: int) -> List[Tuple[int, int]]:
     """Canonical undirected edges along the minimal route."""
     path = minimal_route(g, src, dst)
     return [canonical_edge(a, b) for a, b in zip(path, path[1:])]
+
+
+class RouteIndex:
+    """Edge-index map plus memoized per-pair routes for one graph.
+
+    ``edges[i]`` is the canonical edge with id ``i`` (sorted order);
+    :meth:`route_ids` returns the minimal route of a pair as an array of
+    edge ids, memoized — host-based transcripts reuse the same
+    neighbor pairs round after round, so the routing work amortizes to
+    one lookup per distinct pair. With ids in hand, per-link accounting
+    becomes a single ``np.bincount`` per round instead of nested Python
+    loops (see :func:`repro.collectives.host.transcript_link_loads`).
+    """
+
+    __slots__ = ("graph", "edges", "edge_ids", "_routes")
+
+    def __init__(self, g: Graph):
+        self.graph = g
+        self.edges: List[Tuple[int, int]] = sorted(g.edges)
+        self.edge_ids: Dict[Tuple[int, int], int] = {
+            e: i for i, e in enumerate(self.edges)
+        }
+        self._routes: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def route_ids(self, src: int, dst: int) -> np.ndarray:
+        key = (src, dst)
+        ids = self._routes.get(key)
+        if ids is None:
+            ids = np.asarray(
+                [self.edge_ids[e] for e in route_edges(self.graph, src, dst)],
+                dtype=np.int64,
+            )
+            self._routes[key] = ids
+        return ids
+
+
+#: bounded per-graph cache (Graph has identity hashing: no __eq__/__hash__
+#: overrides), LRU-evicted so long-lived sweep workers cannot accumulate
+#: one index per graph ever routed on
+_ROUTE_INDEXES: "OrderedDict[Graph, RouteIndex]" = OrderedDict()
+_ROUTE_INDEX_MAX = 4
+
+
+def route_index(g: Graph) -> RouteIndex:
+    """The memoized :class:`RouteIndex` of ``g`` (small per-graph LRU)."""
+    idx = _ROUTE_INDEXES.get(g)
+    if idx is None:
+        idx = RouteIndex(g)
+        _ROUTE_INDEXES[g] = idx
+        while len(_ROUTE_INDEXES) > _ROUTE_INDEX_MAX:
+            _ROUTE_INDEXES.popitem(last=False)
+    else:
+        _ROUTE_INDEXES.move_to_end(g)
+    return idx
 
 
 def traffic_per_link(g: Graph, flows: List[Tuple[int, int, float]]) -> Dict[Tuple[int, int], float]:

@@ -12,7 +12,9 @@ inline across ``tests/test_differential.py``,
   workload knobs;
 - :data:`TOPOLOGIES` / :func:`topology_names` / :func:`random_embedding`
   — small named topologies plus seeded random spanning-tree embeddings
-  for cross-cutting invariants.
+  for cross-cutting invariants;
+- :data:`CYCLE_ENGINES` / :func:`cycle_engines` — every registered cycle
+  engine, for differential suites that must cover all of them.
 
 Everything is deterministic: strategies only emit seeds or seeded
 generators, never global-randomness draws, so failing examples shrink and
@@ -47,7 +49,18 @@ __all__ = [
     "TOPOLOGIES",
     "topology_names",
     "random_embedding",
+    "CYCLE_ENGINES",
+    "cycle_engines",
 ]
+
+#: every registered cycle-engine name, reference first (kept in sync with
+#: repro.simulator.engine.ENGINES by tests/test_leap.py)
+CYCLE_ENGINES = ("reference", "fast", "leap")
+
+
+def cycle_engines(subset=None):
+    """Strategy over cycle-engine names."""
+    return st.sampled_from(CYCLE_ENGINES if subset is None else tuple(subset))
 
 
 def _valid(q: int, scheme: str) -> bool:

@@ -1,6 +1,6 @@
-"""Differential testing: five independent execution engines must agree.
+"""Differential testing: six independent execution engines must agree.
 
-The library has five ways to execute the same multi-tree Allreduce:
+The library has six ways to execute the same multi-tree Allreduce:
 
 1. the functional executor (global buffers, level-order accumulation),
 2. the collectives API (reduce-scatter + broadcast phases),
@@ -8,13 +8,15 @@ The library has five ways to execute the same multi-tree Allreduce:
    cycle-accurate arbitration),
 4. the SPMD runtime (per-rank generator programs, blocking messages),
 5. the vectorized fast cycle engine (timing-only, but cycle-exact vs the
-   reference flit simulator).
+   reference flit simulator),
+6. the cycle-leaping engine (steady-state detection + O(events) jumps,
+   still cycle-exact).
 
 They share no execution code beyond the tree structures, so exact
 agreement on random workloads is a strong whole-stack check: the packet
-simulator ties the *payload* result to a cycle count, and the fast engine
-must reproduce that cycle count and flit movement exactly — linking
-payload agreement and timing agreement through one workload.
+simulator ties the *payload* result to a cycle count, and the fast and
+leap engines must reproduce that cycle count and flit movement exactly —
+linking payload agreement and timing agreement through one workload.
 """
 
 import numpy as np
@@ -26,7 +28,14 @@ from repro.core import InNetworkCollectives
 from repro.runtime import tree_allreduce_spmd
 from repro.simulator import execute_plan, packet_allreduce, simulate_allreduce
 
-from tests.strategies import PLANS, message_sizes, plan_keys, reduce_ops, seeds
+from tests.strategies import (
+    CYCLE_ENGINES,
+    PLANS,
+    message_sizes,
+    plan_keys,
+    reduce_ops,
+    seeds,
+)
 
 
 @given(
@@ -36,7 +45,7 @@ from tests.strategies import PLANS, message_sizes, plan_keys, reduce_ops, seeds
     op=reduce_ops(),
 )
 @settings(max_examples=25, deadline=None)
-def test_five_engines_agree(key, m, seed, op):
+def test_six_engines_agree(key, m, seed, op):
     plan = PLANS[key]
     rng = np.random.default_rng(seed)
     x = rng.integers(-100, 100, size=(plan.num_nodes, m))
@@ -57,13 +66,20 @@ def test_five_engines_agree(key, m, seed, op):
     assert np.array_equal(c, want)
     assert np.array_equal(d, want)
 
-    # fifth executor: the fast cycle engine must reproduce the timing of
-    # the run that produced the (verified) payloads above
-    fstats = simulate_allreduce(
-        plan.topology, plan.trees, plan.partition(m), engine="fast"
+    # fifth and sixth executors: the fast and leap cycle engines must
+    # reproduce the timing of the run that produced the (verified)
+    # payloads above — full CycleStats (per-tree finish cycles included)
+    # must match the reference engine bit for bit
+    rstats = simulate_allreduce(
+        plan.topology, plan.trees, plan.partition(m), engine="reference"
     )
-    assert fstats.cycles == pstats.cycles
-    assert fstats.flits_moved == pstats.flits_moved
+    assert rstats.cycles == pstats.cycles
+    assert rstats.flits_moved == pstats.flits_moved
+    for engine in ("fast", "leap"):
+        estats = simulate_allreduce(
+            plan.topology, plan.trees, plan.partition(m), engine=engine
+        )
+        assert estats == rstats, engine
 
 
 @given(
@@ -76,7 +92,7 @@ def test_packet_and_cycle_simulators_agree_on_timing(key, m):
     parts = plan.partition(m)
     x = np.ones((plan.num_nodes, m))
     _, pstats = packet_allreduce(plan.topology, plan.trees, x, partition=parts)
-    for engine in ("reference", "fast"):
+    for engine in CYCLE_ENGINES:
         cstats = simulate_allreduce(plan.topology, plan.trees, parts, engine=engine)
         assert pstats.cycles == cstats.cycles
         assert pstats.flits_moved == cstats.flits_moved

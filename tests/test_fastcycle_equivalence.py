@@ -1,9 +1,11 @@
-"""Differential harness: the vectorized engine must be *cycle-exact*.
+"""Differential harness: the optimized engines must be *cycle-exact*.
 
 ``FastCycleSimulator`` replaces the reference simulator's per-flit Python
-round robin with closed-form vectorized arbitration. The two engines share
-no stepping code, so agreement on every observable is the correctness
-argument for the fast engine:
+round robin with closed-form vectorized arbitration, and
+``LeapCycleSimulator`` layers steady-state detection on top so it can jump
+thousands of cycles in one update. None of the three engines share
+stepping code, so agreement on every observable is the correctness
+argument for the optimized pair:
 
 - per-channel **per-cycle** flit counts (the full ``ChannelTrace``), which
   pins the round-robin pointer trajectory, the credit loop and the
@@ -24,6 +26,7 @@ from repro.core import build_plan
 from repro.simulator import (
     CycleSimulator,
     FastCycleSimulator,
+    LeapCycleSimulator,
     make_engine,
     simulate_allreduce,
     trace_allreduce,
@@ -55,22 +58,24 @@ MATRIX_KEYS = sorted(
 
 
 def assert_cycle_exact(g, trees, flits, link_capacity=1, buffer_size=None):
-    """Both engines must produce identical traces and identical stats."""
+    """All three engines must produce identical traces and identical stats."""
     ref = trace_allreduce(
         g, trees, flits, link_capacity, buffer_size, engine="reference"
     )
-    fast = trace_allreduce(g, trees, flits, link_capacity, buffer_size, engine="fast")
-    assert ref.cycles == fast.cycles
-    assert ref.activity.keys() == fast.activity.keys()
-    for ch in ref.activity:
-        assert ref.activity[ch] == fast.activity[ch], f"channel {ch} diverged"
+    for engine in ("fast", "leap"):
+        got = trace_allreduce(g, trees, flits, link_capacity, buffer_size, engine=engine)
+        assert ref.cycles == got.cycles, engine
+        assert ref.activity.keys() == got.activity.keys(), engine
+        for ch in ref.activity:
+            assert ref.activity[ch] == got.activity[ch], f"{engine}: channel {ch} diverged"
     sref = simulate_allreduce(
         g, trees, flits, link_capacity, buffer_size=buffer_size, engine="reference"
     )
-    sfast = simulate_allreduce(
-        g, trees, flits, link_capacity, buffer_size=buffer_size, engine="fast"
-    )
-    assert sref == sfast  # completion, per-tree cycles, flits, utilization
+    for engine in ("fast", "leap"):
+        got = simulate_allreduce(
+            g, trees, flits, link_capacity, buffer_size=buffer_size, engine=engine
+        )
+        assert sref == got, engine  # completion, per-tree cycles, flits, utilization
 
 
 @pytest.mark.parametrize("flow_control", [None, 2], ids=["credit-off", "credit-on"])
@@ -124,7 +129,7 @@ class TestEngineParity:
     def test_zero_flit_trees(self):
         g = Graph.from_edges(2, [(0, 1)])
         t = SpanningTree(0, {1: 0})
-        for engine in ("reference", "fast"):
+        for engine in ("reference", "fast", "leap"):
             stats = simulate_allreduce(g, [t], [0], engine=engine)
             assert stats.cycles == 0
             assert stats.flits_moved == 0
@@ -140,13 +145,18 @@ class TestEngineParity:
         parts = plan.partition(10)
         ref = CycleSimulator(plan.topology, plan.trees, parts)
         fast = FastCycleSimulator(plan.topology, plan.trees, parts)
-        assert ref.channels() == fast.channels()
-        assert ref.channel_flit_counts() == fast.channel_flit_counts()
+        leap = LeapCycleSimulator(plan.topology, plan.trees, parts)
+        assert ref.channels() == fast.channels() == leap.channels()
+        assert (
+            ref.channel_flit_counts()
+            == fast.channel_flit_counts()
+            == leap.channel_flit_counts()
+        )
 
     def test_input_validation_parity(self):
         g = Graph.from_edges(2, [(0, 1)])
         t = SpanningTree(0, {1: 0})
-        for cls in (CycleSimulator, FastCycleSimulator):
+        for cls in (CycleSimulator, FastCycleSimulator, LeapCycleSimulator):
             with pytest.raises(ValueError):
                 cls(g, [t], [1, 2])
             with pytest.raises(ValueError):
@@ -159,8 +169,29 @@ class TestEngineParity:
     def test_max_cycles_guard(self):
         g = Graph.from_edges(2, [(0, 1)])
         t = SpanningTree(0, {1: 0})
-        with pytest.raises(RuntimeError):
-            simulate_allreduce(g, [t], [100], max_cycles=3, engine="fast")
+        for engine in ("reference", "fast", "leap"):
+            with pytest.raises(RuntimeError):
+                simulate_allreduce(g, [t], [100], max_cycles=3, engine=engine)
+
+    @pytest.mark.parametrize("max_cycles", [1, 3, 7, 20, 50])
+    def test_max_cycles_semantics_identical(self, max_cycles):
+        """run(max_cycles=...) must stop at the same cycle with the same
+        partial state in all three engines — the guard either raises in
+        every engine or in none, and the observable state after the raise
+        (flits moved, per-channel totals) matches exactly."""
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(40)
+        outcomes = {}
+        for engine in ("reference", "fast", "leap"):
+            sim = make_engine(engine, plan.topology, plan.trees, parts)
+            try:
+                stats = sim.run(max_cycles=max_cycles)
+                outcomes[engine] = ("done", stats.cycles)
+            except RuntimeError as exc:
+                outcomes[engine] = ("raise", str(exc))
+            outcomes[engine] += (sim.flits_moved, sim.channel_flit_counts())
+        assert outcomes["fast"] == outcomes["reference"]
+        assert outcomes["leap"] == outcomes["reference"]
 
     def test_unknown_engine_rejected(self):
         g = Graph.from_edges(2, [(0, 1)])
@@ -171,18 +202,22 @@ class TestEngineParity:
             make_engine("warp", g, [t], [1])
 
     def test_stepwise_tree_done_trajectory(self):
-        """tree_done must flip at the same cycle in both engines."""
+        """tree_done must flip at the same cycle in every engine."""
         plan = get_plan(3, "edge-disjoint")
         parts = plan.partition(11)
-        ref = make_engine("reference", plan.topology, plan.trees, parts)
-        fast = make_engine("fast", plan.topology, plan.trees, parts)
+        sims = [
+            make_engine(e, plan.topology, plan.trees, parts)
+            for e in ("reference", "fast", "leap")
+        ]
+        ref = sims[0]
         for cycle in range(200):
             for i in range(len(plan.trees)):
-                assert ref.tree_done(i) == fast.tree_done(i), (cycle, i)
+                done = ref.tree_done(i)
+                assert all(s.tree_done(i) == done for s in sims[1:]), (cycle, i)
             if ref.done():
-                assert fast.done()
+                assert all(s.done() for s in sims[1:])
                 break
-            ref.step()
-            fast.step()
+            for s in sims:
+                s.step()
         else:
             pytest.fail("simulation did not complete")
