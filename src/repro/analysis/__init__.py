@@ -34,6 +34,13 @@ from repro.analysis.plotting import (
     plot_figure5_bandwidth,
     plot_figure5_depth,
 )
+from repro.analysis.recovery import (
+    RecoveryRow,
+    recovery_cells,
+    recovery_data,
+    recovery_row,
+    render_recovery,
+)
 from repro.analysis.radix_efficiency import (
     NetworkPoint,
     radix_comparison,
@@ -99,6 +106,11 @@ __all__ = [
     "ScalingRow",
     "scaling_sweep",
     "render_scaling",
+    "RecoveryRow",
+    "recovery_row",
+    "recovery_cells",
+    "recovery_data",
+    "render_recovery",
     "NetworkPoint",
     "radix_comparison",
     "render_radix_comparison",

@@ -1,0 +1,173 @@
+"""E-A12 — mid-flight fault-recovery latency and bandwidth table.
+
+For a grid of (radix, scheme, recovery policy) points, kills one tree-
+carrying link at a fixed cycle mid-Allreduce and measures what the
+recovery runtime (:mod:`repro.simulator.recovery`) achieves:
+
+- ``cycles_to_detect`` — failure-to-stall latency (the pipeline drains
+  buffered/in-flight work before progress provably stops);
+- ``recovery_cycles`` — stall-to-completion on the re-planned trees;
+- measured bandwidth before the failure, after recovery, and on the
+  fault-free baseline (elements/cycle);
+- ``flits_redone`` — elements reduced at the root but not yet broadcast
+  everywhere, discarded and re-submitted on the new plan.
+
+Every row is deterministic: the failed link is the ``link_rank``-th edge
+(sorted order) among the links the embedding actually uses, and every
+engine produces the identical row (the dynamic fault layer is cycle-exact
+across the engine zoo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "RecoveryRow",
+    "recovery_row",
+    "recovery_cells",
+    "recovery_data",
+    "render_recovery",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    q: int
+    scheme: str
+    policy: str  # requested policy
+    applied: str  # policy actually applied ("-" if no stall occurred)
+    m: int
+    down_cycle: int
+    failed_link: Tuple[int, int]
+    engine: str
+    clean_cycles: int  # fault-free baseline
+    episodes: int
+    cycles_to_detect: int
+    recovery_cycles: int
+    total_cycles: int
+    bandwidth_clean: float
+    bandwidth_before: float
+    bandwidth_after: float
+    flits_redone: int
+    trees_before: int
+    trees_after: int
+
+    @property
+    def slowdown(self) -> float:
+        """Completion-time inflation versus the fault-free run."""
+        return self.total_cycles / self.clean_cycles if self.clean_cycles else 0.0
+
+
+def used_links(plan) -> List[Tuple[int, int]]:
+    """Sorted physical links the embedding routes flits over — the
+    deterministic universe ``link_rank`` indexes into."""
+    used = set()
+    for t in plan.trees:
+        used |= t.edges
+    return sorted(used)
+
+
+def recovery_row(
+    q: int,
+    scheme: str = "low-depth",
+    policy: str = "repaired",
+    m: int = 200,
+    down_cycle: int = 20,
+    link_rank: int = 0,
+    engine: str = "leap",
+) -> RecoveryRow:
+    """One table row — registered as the ``recovery_row`` sweep task."""
+    from repro.core.plan import build_plan
+    from repro.simulator.cycle import simulate_allreduce
+    from repro.simulator.faultsched import FaultSchedule
+    from repro.simulator.recovery import run_with_recovery
+
+    plan = build_plan(q, scheme)
+    links = used_links(plan)
+    edge = links[link_rank % len(links)]
+    parts = plan.partition(m)
+    clean = simulate_allreduce(plan.topology, plan.trees, parts, engine=engine)
+    res = run_with_recovery(
+        plan,
+        m,
+        FaultSchedule.single(edge, down_cycle),
+        policy=policy,
+        engine=engine,
+    )
+    return RecoveryRow(
+        q=q,
+        scheme=scheme,
+        policy=policy,
+        applied=res.episodes[0].policy if res.episodes else "-",
+        m=m,
+        down_cycle=down_cycle,
+        failed_link=edge,
+        engine=engine,
+        clean_cycles=clean.cycles,
+        episodes=len(res.episodes),
+        cycles_to_detect=res.cycles_to_detect,
+        recovery_cycles=res.recovery_cycles,
+        total_cycles=res.total_cycles,
+        bandwidth_clean=clean.aggregate_bandwidth,
+        bandwidth_before=res.bandwidth_before,
+        bandwidth_after=res.bandwidth_after,
+        flits_redone=res.flits_redone,
+        trees_before=plan.num_trees,
+        trees_after=res.final_num_trees,
+    )
+
+
+def recovery_cells(
+    qs: Sequence[int] = (3, 5),
+    schemes: Sequence[str] = ("low-depth", "edge-disjoint"),
+    policies: Sequence[str] = ("repaired", "degraded"),
+    m: int = 200,
+    down_cycle: int = 20,
+    engine: str = "leap",
+) -> list:
+    """The report's recovery grid, in row-major (q, scheme, policy) order."""
+    from repro.sweep.spec import cell
+
+    return [
+        cell(
+            "recovery_row",
+            q=q,
+            scheme=s,
+            policy=p,
+            m=m,
+            down_cycle=down_cycle,
+            engine=engine,
+        )
+        for q in qs
+        for s in schemes
+        for p in policies
+    ]
+
+
+def recovery_data(sweep=None, **grid) -> List[RecoveryRow]:
+    """Run the recovery grid (optionally through a provided runner)."""
+    from repro.sweep.engine import default_runner
+
+    runner = sweep or default_runner()
+    return runner.run(recovery_cells(**grid))
+
+
+def render_recovery(rows: Sequence[RecoveryRow]) -> str:
+    out = [
+        "Recovery — mid-flight link failure, stall detection, re-plan "
+        "(E-A12; one link killed at the given cycle)",
+        "  q scheme         policy    link      detect recover   total"
+        "  (clean)   bw before/after/clean  redone  trees",
+    ]
+    for r in rows:
+        out.append(
+            f" {r.q:>2} {r.scheme:<14} {r.applied:<9} "
+            f"{str(r.failed_link):<9} {r.cycles_to_detect:>6} "
+            f"{r.recovery_cycles:>7} {r.total_cycles:>7} {r.clean_cycles:>8} "
+            f"  {r.bandwidth_before:>5.3f}/{r.bandwidth_after:>5.3f}/"
+            f"{r.bandwidth_clean:>5.3f} {r.flits_redone:>7} "
+            f"{r.trees_before:>3}->{r.trees_after}"
+        )
+    return "\n".join(out)

@@ -5,6 +5,7 @@ Commands
 ``info Q``          topology summary for PolarFly of parameter Q
 ``plan Q``          build an embedding plan and print its metrics
 ``simulate Q``      run the cycle-level simulator against the model
+``faults Q``        kill a link mid-Allreduce, recover, report latencies
 ``report``          regenerate every paper table/figure as text
 ``sweep``           parallel, cache-backed artifact regeneration
 ``export Q``        emit DOT/GraphML for the topology or an embedding
@@ -46,6 +47,35 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("reference", "fast", "leap"),
                    help="cycle engine (leap: O(events) wall clock, "
                         "cycle-exact; default)")
+    s.add_argument("--buffer", type=int, default=None, metavar="SLOTS",
+                   help="per-flow credit buffer slots (default: unbounded)")
+    s.add_argument("--capacity", type=int, default=1,
+                   help="link capacity in flits/cycle")
+
+    s = sub.add_parser(
+        "faults",
+        help="dynamic fault injection with mid-flight recovery",
+        description="Kill links mid-Allreduce per a fault schedule, let the "
+        "engine stall, re-plan with the degraded/repaired machinery and "
+        "finish on the surviving trees; prints per-episode detection and "
+        "recovery latencies and the measured bandwidth before/after.",
+    )
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("-m", type=int, default=600, help="total flits")
+    s.add_argument("--engine", default="leap",
+                   choices=("reference", "fast", "leap"))
+    s.add_argument("--policy", default="repaired",
+                   choices=("repaired", "degraded", "auto"),
+                   help="static recovery applied on stall")
+    s.add_argument("--link", type=int, nargs=2, default=None,
+                   metavar=("U", "V"),
+                   help="the link to kill (default: first tree-carrying link)")
+    s.add_argument("--down", type=int, default=20,
+                   help="cycle the link dies (default 20)")
+    s.add_argument("--up", type=int, default=None,
+                   help="revival cycle (default: the failure is permanent)")
     s.add_argument("--buffer", type=int, default=None, metavar="SLOTS",
                    help="per-flow credit buffer slots (default: unbounded)")
     s.add_argument("--capacity", type=int, default=1,
@@ -161,6 +191,43 @@ def _cmd_simulate(args) -> int:
           f"aggregate bandwidth {stats.aggregate_bandwidth:.3f} flits/cycle")
     print(f"  predicted: {float(fluid.makespan):.0f} cycles, "
           f"Algorithm 1 bound {float(plan.aggregate_bandwidth):.3f}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.analysis.recovery import used_links
+    from repro.core import build_plan
+    from repro.simulator import FaultSchedule, run_with_recovery
+
+    plan = build_plan(args.q, args.scheme)
+    edge = tuple(args.link) if args.link else used_links(plan)[0]
+    faults = FaultSchedule.single(edge, args.down, up=args.up)
+    res = run_with_recovery(
+        plan,
+        args.m,
+        faults,
+        policy=args.policy,
+        engine=args.engine,
+        link_capacity=args.capacity,
+        buffer_size=args.buffer,
+    )
+    window = f"cycle {args.down}" + (f"..{args.up}" if args.up else " (permanent)")
+    print(f"scheme={args.scheme} q={args.q} m={args.m} engine={args.engine} "
+          f"link {edge} down at {window}")
+    for i, ep in enumerate(res.episodes):
+        print(f"  episode {i}: stall at cycle {ep.detect_cycle} "
+              f"({ep.cycles_to_detect} cycles after the failure), "
+              f"{ep.policy} re-plan, trees lost {list(ep.trees_lost)}"
+              + (f", {ep.trees_regrown} regrown" if ep.trees_regrown else "")
+              + f", {ep.flits_redone} flits re-submitted")
+    if not res.episodes:
+        print("  no stall: the pipeline rode the fault out on the original trees")
+    print(f"  completed in {res.total_cycles} cycles on {res.final_num_trees} "
+          f"trees ({res.final_scheme})")
+    print(f"  bandwidth before/after: {res.bandwidth_before:.3f}/"
+          f"{res.bandwidth_after:.3f} flits/cycle"
+          + (f"  recovery took {res.recovery_cycles} cycles"
+             if res.episodes else ""))
     return 0
 
 
@@ -284,6 +351,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
+    "faults": _cmd_faults,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "config": _cmd_config,

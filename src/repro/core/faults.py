@@ -37,8 +37,21 @@ def affected_trees(trees: Sequence[SpanningTree], failed: Iterable[Edge]) -> Lis
 
 
 def remove_links(g: Graph, failed: Iterable[Edge]) -> Graph:
-    """The surviving topology (failed links removed; self-loops kept)."""
-    bad = {canonical_edge(*e) for e in failed}
+    """The surviving topology (failed links removed; self-loops kept).
+
+    Each failed link must be named exactly once: a duplicate entry (even
+    spelled with the endpoints swapped) is almost always a caller bug —
+    e.g. double-counting a failure when sizing the Theorem 7.6 bound — so
+    it raises ``ValueError`` rather than being silently deduplicated.
+    """
+    bad = set()
+    for raw in failed:
+        e = canonical_edge(*raw)
+        if e in bad:
+            raise ValueError(
+                f"duplicate failed-link entry {e}; list each failed link once"
+            )
+        bad.add(e)
     for e in bad:
         if e[0] == e[1] or not g.has_edge(*e):
             raise ValueError(f"{e} is not a physical link of this topology")

@@ -15,6 +15,11 @@ Three fidelities, all exercising the Section 4.3/4.4 dataflow:
 - :mod:`repro.simulator.fluid` — closed-form max-min rate model for large
   configurations.
 
+Dynamic link failures: :mod:`repro.simulator.faultsched` schedules them
+(every cycle engine honors the same :class:`FaultSchedule` with identical
+semantics) and :mod:`repro.simulator.recovery` re-plans mid-flight when a
+failure permanently severs progress.
+
 :mod:`repro.simulator.router` / :mod:`repro.simulator.network` model the
 router resources (VCs, reduction engines, port fan-in) of Section 5.1.
 """
@@ -25,14 +30,27 @@ from repro.simulator.config_gen import (
     assign_virtual_channels,
     generate_fabric_config,
 )
-from repro.simulator.cycle import CycleSimulator, CycleStats, simulate_allreduce
+from repro.simulator.cycle import (
+    CycleSimulator,
+    CycleStats,
+    SimulationStalled,
+    simulate_allreduce,
+)
 from repro.simulator.engine import ENGINES, CycleEngine, make_engine
 from repro.simulator.fastcycle import FastCycleSimulator
+from repro.simulator.faultsched import FaultEvent, FaultSchedule
 from repro.simulator.fluid import FluidResult, fluid_simulate
 from repro.simulator.functional import REDUCE_OPS, execute_plan, reduce_on_tree, verify_plan
 from repro.simulator.leap import LeapCycleSimulator
 from repro.simulator.network import Network
 from repro.simulator.packet import PacketLevelSimulator, PacketStats, packet_allreduce
+from repro.simulator.recovery import (
+    RECOVERY_POLICIES,
+    RecoveryEpisode,
+    RecoveryError,
+    RecoveryResult,
+    run_with_recovery,
+)
 from repro.simulator.trace import (
     ChannelTrace,
     CompressedTrace,
@@ -54,7 +72,15 @@ __all__ = [
     "generate_fabric_config",
     "CycleSimulator",
     "CycleStats",
+    "SimulationStalled",
     "simulate_allreduce",
+    "FaultEvent",
+    "FaultSchedule",
+    "RECOVERY_POLICIES",
+    "RecoveryEpisode",
+    "RecoveryError",
+    "RecoveryResult",
+    "run_with_recovery",
     "CycleEngine",
     "ENGINES",
     "make_engine",

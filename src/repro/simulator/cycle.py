@@ -17,6 +17,12 @@ Models the router architecture of Section 4.4 at flit granularity:
 - each directed channel arbitrates round-robin among its backlogged
   (tree, phase) flows — fair sharing, the physical mechanism behind the
   Section 5.1 congestion model;
+- an optional :class:`~repro.simulator.faultsched.FaultSchedule` makes
+  links die (and optionally revive) mid-run: a down link grants zero
+  flits in both directions, flits already in flight still land, and a
+  run that can make no further progress raises :class:`SimulationStalled`
+  at the exact cycle progress stopped — unless a scheduled revival is
+  still pending, in which case the engine idles until it;
 - optional credit-based flow control (Section 4.4): each (tree, phase)
   stream gets ``buffer_size`` receiver-side slots; a flit's slot frees
   once the receiver has *consumed* it (forwarded it up for reduction
@@ -40,13 +46,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.topology.graph import Graph
+from repro.simulator.faultsched import FaultSchedule
+from repro.topology.graph import Graph, canonical_edge
 from repro.trees.tree import SpanningTree
 
 __all__ = [
     "FlowKind",
     "CycleStats",
     "CycleSimulator",
+    "SimulationStalled",
     "simulate_allreduce",
     "default_max_cycles",
 ]
@@ -56,25 +64,51 @@ BROADCAST = "broadcast"
 FlowKind = str
 
 
+class SimulationStalled(RuntimeError):
+    """Zero progress with incomplete trees and no revival pending.
+
+    On a healthy network this is a deadlock (a bug); under a
+    :class:`~repro.simulator.faultsched.FaultSchedule` it is the expected
+    signal that a failed link severed live reduction traffic — the
+    recovery runtime (:mod:`repro.simulator.recovery`) catches it and
+    re-plans. All engines raise it at the exact same cycle with the same
+    pending-tree set (differential-tested).
+    """
+
+    def __init__(self, cycle: int, pending: Sequence[int]):
+        self.cycle = int(cycle)
+        self.pending = tuple(int(i) for i in pending)
+        super().__init__(
+            f"simulation stalled; pending trees {list(self.pending)}"
+            f" (cycle {self.cycle})"
+        )
+
+
 def default_max_cycles(
     trees: Sequence[SpanningTree],
     flits_per_tree: Sequence[int],
     link_capacity: int,
     buffer_size: Optional[int],
+    faults: Optional[FaultSchedule] = None,
 ) -> int:
     """The shared ``run(max_cycles=None)`` budget of every cycle engine.
 
     Generous: pipeline fill plus fully serialized worst case (plus the
-    credit-loop slowdown when buffers are tiny). All engines use this one
-    formula so their guard semantics are identical — same stop cycle,
-    same error — which the three-way differential suite asserts.
+    credit-loop slowdown when buffers are tiny, plus the fault schedule's
+    horizon — a run may legitimately idle until the last scheduled
+    revival). All engines use this one formula so their guard semantics
+    are identical — same stop cycle, same error — which the three-way
+    differential suite asserts.
     """
     depth = max((t.depth for t in trees), default=0)
     stall_factor = 1 if buffer_size is None else (
         1 + max(1, 2 * link_capacity) // buffer_size
     )
-    return 16 + 4 * depth + 8 * stall_factor * (sum(flits_per_tree) + 1) * max(
-        1, len(trees)
+    return (
+        16
+        + 4 * depth
+        + 8 * stall_factor * (sum(flits_per_tree) + 1) * max(1, len(trees))
+        + (faults.horizon if faults is not None else 0)
     )
 
 
@@ -128,6 +162,9 @@ class CycleSimulator:
         normally ``plan.partition(m)``.
     link_capacity:
         Flits per cycle per channel direction (the link bandwidth ``B``).
+    faults:
+        Optional :class:`~repro.simulator.faultsched.FaultSchedule`; down
+        links grant zero flits (see module docstring for the semantics).
     """
 
     def __init__(
@@ -137,6 +174,7 @@ class CycleSimulator:
         flits_per_tree: Sequence[int],
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
@@ -146,6 +184,8 @@ class CycleSimulator:
             raise ValueError("buffer size must be >= 1 slot (or None for infinite)")
         for t in trees:
             t.validate(g)
+        if faults is not None:
+            faults.validate_against(g)
         self.g = g
         self.trees = list(trees)
         self.m = [int(x) for x in flits_per_tree]
@@ -153,6 +193,8 @@ class CycleSimulator:
             raise ValueError("flit counts must be non-negative")
         self.capacity = link_capacity
         self.buffer_size = buffer_size
+        self.faults = faults if faults else None
+        self.cycle = 0  # cycles stepped so far (the c-th step is cycle c)
 
         # Per-tree state.
         n = g.n
@@ -275,8 +317,39 @@ class CycleSimulator:
         """Cumulative flits moved per channel, aligned with :meth:`channels`."""
         return [self.channel_flits[ch] for ch in self.channel_flows]
 
+    def has_in_flight(self) -> bool:
+        """Any flits granted last cycle but not yet landed?"""
+        return bool(self._landing)
+
+    def delivered_floor(self) -> List[int]:
+        """Per-tree count of flits fully delivered to *every* node (landed
+        broadcast floor) — the prefix of each sub-vector that is complete
+        and need not be redone after a failure."""
+        out = []
+        for ti, t in enumerate(self.trees):
+            if not t.parent:
+                out.append(self.m[ti])
+            else:
+                bc = self.bc_delivered[ti]
+                out.append(min(min(bc[v] for v in t.parent), self.m[ti]))
+        return out
+
+    def reduced_at_root(self) -> List[int]:
+        """Per-tree count of flits fully aggregated at the root; the gap to
+        :meth:`delivered_floor` is pipeline work a recovery discards."""
+        return [
+            min(self._aggregated(ti, t.root), self.m[ti])
+            for ti, t in enumerate(self.trees)
+        ]
+
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
+        self.cycle += 1
+        dead = (
+            self.faults.down_edges_at(self.cycle)
+            if self.faults is not None
+            else ()
+        )
         # 1. land last cycle's in-flight flits
         for fid, cnt in self._landing:
             fl = self.flows[fid]
@@ -292,6 +365,10 @@ class CycleSimulator:
         self._sent_snap = [f.sent for f in self.flows]
         moved = 0
         for ch, fids in self.channel_flows.items():
+            if dead and canonical_edge(*ch) in dead:
+                # a down link grants nothing and its pointers hold still —
+                # exactly as if every flow on the channel had zero budget
+                continue
             budget = {
                 fid: min(
                     self._eligible(self.flows[fid]),
@@ -325,11 +402,11 @@ class CycleSimulator:
         return moved
 
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
-        """Run to completion of all trees; raises ``RuntimeError`` on
-        stall or when ``max_cycles`` is exceeded."""
+        """Run to completion of all trees; raises :class:`SimulationStalled`
+        on stall and ``RuntimeError`` when ``max_cycles`` is exceeded."""
         if max_cycles is None:
             max_cycles = default_max_cycles(
-                self.trees, self.m, self.capacity, self.buffer_size
+                self.trees, self.m, self.capacity, self.buffer_size, self.faults
             )
         completion = [0] * len(self.trees)
         done = [self._tree_done(i) for i in range(len(self.trees))]
@@ -340,11 +417,15 @@ class CycleSimulator:
             if cycle > max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
             if moved == 0 and not self._landing:
-                # no progress and nothing in flight => deadlock (bug)
+                # no progress and nothing in flight => deadlock, unless a
+                # scheduled link revival can still unblock the pipeline
                 if not all(self._tree_done(i) or done[i] for i in range(len(done))):
                     pending = [i for i in range(len(done)) if not self._tree_done(i)]
-                    if pending:
-                        raise RuntimeError(f"simulation stalled; pending trees {pending}")
+                    if pending and not (
+                        self.faults is not None
+                        and self.faults.next_revival_after(cycle) is not None
+                    ):
+                        raise SimulationStalled(cycle, pending)
             for i in range(len(done)):
                 if not done[i] and self._tree_done(i):
                     done[i] = True
@@ -374,6 +455,7 @@ def simulate_allreduce(
     max_cycles: Optional[int] = None,
     buffer_size: Optional[int] = None,
     engine: str = "reference",
+    faults: Optional[FaultSchedule] = None,
 ) -> CycleStats:
     """One-shot cycle simulation with a selectable engine.
 
@@ -384,8 +466,14 @@ def simulate_allreduce(
     :class:`~repro.simulator.leap.LeapCycleSimulator` (O(depth + #events)
     wall clock, message-size independent).  All three are cycle-exact
     equivalents, so the choice only affects wall-clock time.
+
+    ``faults`` injects a dynamic link-failure schedule, honored
+    identically by every engine; a run severed for good raises
+    :class:`SimulationStalled` at the exact cycle progress stopped.
     """
     from repro.simulator.engine import make_engine
 
-    sim = make_engine(engine, g, trees, flits_per_tree, link_capacity, buffer_size)
+    sim = make_engine(
+        engine, g, trees, flits_per_tree, link_capacity, buffer_size, faults
+    )
     return sim.run(max_cycles)

@@ -37,6 +37,7 @@ except ImportError:  # pragma: no cover
 
 from repro.simulator.cycle import CycleSimulator, CycleStats
 from repro.simulator.fastcycle import FastCycleSimulator
+from repro.simulator.faultsched import FaultSchedule
 from repro.simulator.leap import LeapCycleSimulator
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
@@ -53,12 +54,25 @@ class CycleEngine(Protocol):
     channel activity (aligned lists) so tracers can diff successive
     cycles; ``tree_done``/``done`` report completion as of the flits that
     have *landed* (in-flight flits excluded, one-cycle hop latency);
-    ``run`` drives the engine to completion and folds the result into a
-    :class:`CycleStats`.
+    ``has_in_flight`` says whether any granted flit has yet to land (the
+    stall detectors' second condition); ``delivered_floor`` /
+    ``reduced_at_root`` expose per-tree progress frontiers so the
+    recovery runtime (:mod:`repro.simulator.recovery`) can account for
+    already-reduced partial chunks mid-flight; ``run`` drives the engine
+    to completion and folds the result into a :class:`CycleStats`.
+
+    Engines accept an optional
+    :class:`~repro.simulator.faultsched.FaultSchedule` (the ``faults``
+    attribute) and honor it with identical semantics — dead links carry
+    nothing, stalls raise
+    :class:`~repro.simulator.cycle.SimulationStalled` at the exact same
+    cycle on every engine.
     """
 
     capacity: int
     buffer_size: Optional[int]
+    faults: Optional[FaultSchedule]
+    cycle: int
 
     def step(self) -> int: ...
 
@@ -69,6 +83,12 @@ class CycleEngine(Protocol):
     def channels(self) -> List[Tuple[int, int]]: ...
 
     def channel_flit_counts(self) -> List[int]: ...
+
+    def has_in_flight(self) -> bool: ...
+
+    def delivered_floor(self) -> List[int]: ...
+
+    def reduced_at_root(self) -> List[int]: ...
 
     def run(self, max_cycles: Optional[int] = None) -> CycleStats: ...
 
@@ -87,13 +107,14 @@ def make_engine(
     flits_per_tree: Sequence[int],
     link_capacity: int = 1,
     buffer_size: Optional[int] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> "CycleEngine":
     """Instantiate the named cycle engine (``"reference"``, ``"fast"`` or
-    ``"leap"``)."""
+    ``"leap"``), optionally bound to a dynamic fault schedule."""
     try:
         cls = ENGINES[engine]
     except KeyError:
         raise ValueError(
             f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
         ) from None
-    return cls(g, trees, flits_per_tree, link_capacity, buffer_size)
+    return cls(g, trees, flits_per_tree, link_capacity, buffer_size, faults=faults)

@@ -36,8 +36,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.simulator.cycle import CycleStats, default_max_cycles
-from repro.topology.graph import Graph
+from repro.simulator.cycle import CycleStats, SimulationStalled, default_max_cycles
+from repro.simulator.faultsched import FaultSchedule
+from repro.topology.graph import Graph, canonical_edge
 from repro.trees.tree import SpanningTree
 
 __all__ = ["FastCycleSimulator"]
@@ -70,6 +71,7 @@ class FastCycleSimulator:
         flits_per_tree: Sequence[int],
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
@@ -79,6 +81,8 @@ class FastCycleSimulator:
             raise ValueError("buffer size must be >= 1 slot (or None for infinite)")
         for t in trees:
             t.validate(g)
+        if faults is not None:
+            faults.validate_against(g)
         self.g = g
         self.trees = list(trees)
         self.m = [int(x) for x in flits_per_tree]
@@ -86,6 +90,8 @@ class FastCycleSimulator:
             raise ValueError("flit counts must be non-negative")
         self.capacity = link_capacity
         self.buffer_size = buffer_size
+        self.faults = faults if faults else None
+        self.cycle = 0  # cycles stepped so far (the c-th step is cycle c)
 
         n = g.n
         self.n = n
@@ -238,6 +244,15 @@ class FastCycleSimulator:
         self._rr = np.zeros(C, dtype=np.int64)
         self._ch_cum = np.zeros(C, dtype=np.int64)
 
+        # fault bookkeeping: per-flow undirected link keys, plus the dead
+        # set / budget mask of the current fault segment (updated lazily —
+        # the set of down links only changes at schedule event cycles)
+        self._flow_edges = [
+            canonical_edge(s, d) for s, d in zip(f_src, f_dst)
+        ]
+        self._dead_now = frozenset()
+        self._dead_mask: Optional[np.ndarray] = None
+
         # in-flight flits: (flow ids, counts) landing at the next boundary
         self._pending_fids = np.zeros(0, dtype=np.int64)
         self._pending_cnt = np.zeros(0, dtype=np.int64)
@@ -261,8 +276,23 @@ class FastCycleSimulator:
 
     # ------------------------------------------------------------- dynamics
 
+    def _refresh_fault_mask(self) -> None:
+        """Recompute the dead-flow budget mask when the schedule's active
+        segment changed (links died or revived at this cycle)."""
+        dead = self.faults.down_edges_at(self.cycle)
+        if dead != self._dead_now:
+            self._dead_now = dead
+            self._dead_mask = (
+                np.asarray([e in dead for e in self._flow_edges], dtype=bool)
+                if dead
+                else None
+            )
+
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
+        self.cycle += 1
+        if self.faults is not None:
+            self._refresh_fault_mask()
         # 1. land last cycle's in-flight flits (one-cycle hop latency)
         if len(self._pending_fids):
             self._flat[self._land_idx[self._pending_fids]] += self._pending_cnt
@@ -289,6 +319,11 @@ class FastCycleSimulator:
             snap = credit = None
             budget = avail
         self._observe_budgets(avail, credit, snap)
+        if self._dead_mask is not None:
+            # flows on down links arbitrate with zero budget; availability
+            # and credit state keep evolving underneath (the leap engine
+            # observes the raw components, so its bounds stay conservative)
+            budget = np.where(self._dead_mask, 0, budget)
 
         # 3. arbitration
         if self.capacity == 1:
@@ -396,12 +431,32 @@ class FastCycleSimulator:
     def channel_flit_counts(self) -> List[int]:
         return [int(x) for x in self._ch_cum]
 
+    def has_in_flight(self) -> bool:
+        """Any flits granted last cycle but not yet landed?"""
+        return bool(len(self._pending_fids))
+
+    def delivered_floor(self) -> List[int]:
+        """Per-tree fully-delivered (landed broadcast) flit floor — the
+        complete prefix a recovery need not redo (reference semantics)."""
+        if not self._T:
+            return []
+        floor = self._state[_BCD].min(axis=1)  # roots pinned at _INF
+        return [int(min(f, mi)) for f, mi in zip(floor, self._m_arr)]
+
+    def reduced_at_root(self) -> List[int]:
+        """Per-tree flits fully aggregated at the root (landed only)."""
+        if not self._T:
+            return []
+        agg = self._flat[self._agg_root_idx]
+        return [int(min(a, mi)) for a, mi in zip(agg, self._m_arr)]
+
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
-        """Run to completion of all trees; raises ``RuntimeError`` on
-        stall or when ``max_cycles`` is exceeded (reference semantics)."""
+        """Run to completion of all trees; raises :class:`SimulationStalled`
+        on stall and ``RuntimeError`` when ``max_cycles`` is exceeded
+        (reference semantics)."""
         if max_cycles is None:
             max_cycles = default_max_cycles(
-                self.trees, self.m, self.capacity, self.buffer_size
+                self.trees, self.m, self.capacity, self.buffer_size, self.faults
             )
         T = self._T
         completion = [0] * T
@@ -416,8 +471,11 @@ class FastCycleSimulator:
             if moved == 0 and not len(self._pending_fids):
                 if not now.all():
                     pending = [i for i in range(T) if not now[i]]
-                    if pending:
-                        raise RuntimeError(f"simulation stalled; pending trees {pending}")
+                    if pending and not (
+                        self.faults is not None
+                        and self.faults.next_revival_after(cycle) is not None
+                    ):
+                        raise SimulationStalled(cycle, pending)
             newly = now & ~done
             if newly.any():
                 for i in np.nonzero(newly)[0]:

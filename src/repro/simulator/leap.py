@@ -52,8 +52,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.simulator.cycle import CycleStats, default_max_cycles
+from repro.simulator.cycle import CycleStats, SimulationStalled, default_max_cycles
 from repro.simulator.fastcycle import FastCycleSimulator
+from repro.simulator.faultsched import FaultSchedule
 from repro.topology.graph import Graph
 from repro.trees.tree import SpanningTree
 
@@ -94,6 +95,14 @@ class LeapCycleSimulator(FastCycleSimulator):
 
     Introspection: ``leap_log`` records ``(start_cycle, period, k)`` for
     every jump taken; ``stepped_cycles`` counts cycles actually stepped.
+
+    Under a :class:`~repro.simulator.faultsched.FaultSchedule` every
+    scheduled event cycle is a *leap barrier*: no jump crosses a cycle at
+    which links die or revive (the dynamics change there), the detector
+    resets at each boundary, and dead waits — zero progress with nothing
+    in flight while a revival is still scheduled — are fast-forwarded in
+    closed form (``idle_skipped`` counts those cycles; the state is a
+    provable fixpoint, so observables stay cycle-exact).
     """
 
     #: hard cap on the detectable period (memory during verification is
@@ -109,8 +118,9 @@ class LeapCycleSimulator(FastCycleSimulator):
         flits_per_tree: Sequence[int],
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ):
-        super().__init__(g, trees, flits_per_tree, link_capacity, buffer_size)
+        super().__init__(g, trees, flits_per_tree, link_capacity, buffer_size, faults)
         # flow -> channel index (for per-phase channel activity blocks)
         flow_ch = np.zeros(self._F, dtype=np.int64)
         for ci, ch in enumerate(self._chs):
@@ -146,6 +156,7 @@ class LeapCycleSimulator(FastCycleSimulator):
         ) if self._F else np.zeros(0, dtype=np.int64)
         self.leap_log: List[Tuple[int, int, int]] = []
         self.stepped_cycles = 0
+        self.idle_skipped = 0  # dead-wait cycles fast-forwarded, not stepped
         self._reset_detector()
 
     # ------------------------------------------------------- detector state
@@ -173,7 +184,13 @@ class LeapCycleSimulator(FastCycleSimulator):
         moved = super().step()
         self.stepped_cycles += 1
         if self._F:
-            self._detect()
+            if self.faults is not None and self.faults.changes_at(self.cycle):
+                # links died or revived this cycle: every recorded
+                # signature belongs to the previous dynamics regime, so
+                # abort any in-flight detection/verification and restart
+                self._reset_detector()
+            else:
+                self._detect()
         return moved
 
     # ------------------------------------------------------------ detection
@@ -431,6 +448,12 @@ class LeapCycleSimulator(FastCycleSimulator):
             return 0, None
         self._steady = None
         k = min(st.k_bound, (max_cycles - cycle) // st.period)
+        if self.faults is not None:
+            # fault cycles are leap barriers: the dynamics change there,
+            # so every scheduled event is stepped, never jumped over
+            nxt = self.faults.next_event_after(cycle)
+            if nxt is not None:
+                k = min(k, (nxt - 1 - cycle) // st.period)
         if k < 1:
             self._cooldown = 4 * self._p_max
             return 0, None
@@ -442,19 +465,44 @@ class LeapCycleSimulator(FastCycleSimulator):
         # exactly from the leapt UPD counters (matches the post-step
         # invariant AGG == min over children's UPD)
         self._refresh_agg()
+        # keep the engine's internal cycle counter (the fault clock that
+        # step() consults via down_edges_at) in lockstep with the leap
+        self.cycle += k * st.period
         self.leap_log.append((cycle, st.period, k))
         self._reset_detector()
         return k * st.period, st
 
     # ----------------------------------------------------- engine protocol
 
+    def _stall_or_skip(self, cycle: int, max_cycles: int, pending) -> int:
+        """Zero progress with nothing in flight: the state is a fixpoint
+        until the next scheduled link event, so either fast-forward the
+        idle wait (returning the target cycle) or raise
+        :class:`SimulationStalled` exactly like the per-cycle engines.
+
+        Only a *revival* can restore progress (a later down event merely
+        removes budget, which at a fixpoint is already zero), so the wait
+        targets the next revival; intermediate down events need no state —
+        ``down_edges_at`` is absolute, so the post-skip steps see them."""
+        nxt = (
+            self.faults.next_revival_after(cycle) if self.faults is not None else None
+        )
+        if nxt is None:
+            raise SimulationStalled(cycle, pending)
+        skip_to = max(min(nxt - 1, max_cycles), cycle)
+        if skip_to > cycle:
+            self.idle_skipped += skip_to - cycle
+            self.cycle = skip_to  # advance the fault clock with the skip
+        return skip_to
+
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
         """Run to completion, leaping over steady-state stretches; raises
-        ``RuntimeError`` on stall or ``max_cycles`` exactly like the
-        per-cycle engines (same stop cycle, same partial state)."""
+        :class:`SimulationStalled` on stall and ``RuntimeError`` on
+        ``max_cycles`` exactly like the per-cycle engines (same stop
+        cycle, same partial state)."""
         if max_cycles is None:
             max_cycles = default_max_cycles(
-                self.trees, self.m, self.capacity, self.buffer_size
+                self.trees, self.m, self.capacity, self.buffer_size, self.faults
             )
         T = self._T
         completion = [0] * T
@@ -471,18 +519,19 @@ class LeapCycleSimulator(FastCycleSimulator):
             if cycle > max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
             now = self._done_mask()
-            if moved == 0 and not len(self._pending_fids):
-                if not now.all():
-                    pending = [i for i in range(T) if not now[i]]
-                    if pending:
-                        raise RuntimeError(
-                            f"simulation stalled; pending trees {pending}"
-                        )
+            # record completions before any idle fast-forward: a tree whose
+            # last flit lands on the very cycle the pipeline goes idle must
+            # keep that cycle, not the skip target
             newly = now & ~done
             if newly.any():
                 for i in np.nonzero(newly)[0]:
                     completion[i] = cycle
                 done = done | now
+            if moved == 0 and not len(self._pending_fids):
+                if not now.all():
+                    pending = [i for i in range(T) if not now[i]]
+                    if pending:
+                        cycle = self._stall_or_skip(cycle, max_cycles, pending)
         total_cycles = max(completion) if completion else 0
         loads = [int(c) for c in self._ch_cum if c > 0]
         denom = total_cycles * self.capacity
@@ -529,11 +578,23 @@ class LeapCycleSimulator(FastCycleSimulator):
                 cycle += leapt
                 continue
             prev = self._ch_cum.copy()
-            self.step()
+            moved = self.step()
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError("trace exceeded max cycles")
             dense.append(self._ch_cum - prev)
+            if moved == 0 and not len(self._pending_fids) and not self.done():
+                pending = [
+                    i for i, d in enumerate(self._done_mask()) if not d
+                ]
+                skip_to = self._stall_or_skip(cycle, max_cycles, pending)
+                if skip_to > cycle:
+                    # idle dead-wait: one all-zero column repeated
+                    flush()
+                    blocks.append(
+                        (skip_to - cycle, np.zeros((self._C, 1), dtype=np.int64))
+                    )
+                    cycle = skip_to
         flush()
         return CompressedTrace(
             cycles=cycle,

@@ -1,0 +1,275 @@
+"""Mid-flight fault recovery: stall → re-plan → resume with leftovers.
+
+Couples the dynamic fault layer (:mod:`repro.simulator.faultsched`) to the
+static recovery machinery (:mod:`repro.core.faults`). A run starts on the
+original :class:`~repro.core.plan.AllreducePlan`; when a scheduled link
+failure severs some trees the engine raises
+:class:`~repro.simulator.cycle.SimulationStalled` at the exact cycle
+progress stopped (identically on every engine). :func:`run_with_recovery`
+catches that, reads the progress frontiers the engines expose —
+
+- ``delivered_floor()``: per tree, the broadcast prefix *every* non-root
+  node has already received. Those elements are done and are never redone.
+- ``reduced_at_root()``: per tree, the prefix fully reduced at the root.
+  Elements reduced but not yet broadcast everywhere are *discarded* and
+  re-submitted (the surviving trees may have different roots/topology, so
+  partial broadcast state cannot be migrated); the gap is reported as
+  ``flits_redone``.
+
+— rewrites the plan with :func:`~repro.core.faults.degraded_plan` (drop
+severed trees, redistribute their leftover via Equation 2) or
+:func:`~repro.core.faults.repaired_plan` (regrow replacements on the
+surviving topology; replacements inherit their predecessors' leftovers),
+re-bases the remaining fault schedule with
+:meth:`~repro.simulator.faultsched.FaultSchedule.after`, and re-enters the
+engine. Cascading failures are handled by looping; every episode is
+recorded with its detection and recovery latencies and the measured
+bandwidth before/after (the ``analysis/recovery.py`` table renders these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.simulator.cycle import CycleStats, SimulationStalled
+from repro.simulator.faultsched import FaultSchedule
+from repro.topology.graph import Edge
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryEpisode",
+    "RecoveryResult",
+    "RECOVERY_POLICIES",
+    "run_with_recovery",
+]
+
+RECOVERY_POLICIES = ("repaired", "degraded", "auto")
+
+
+class RecoveryError(RuntimeError):
+    """Recovery could not produce a runnable plan (disconnected survivor
+    topology, no surviving trees under ``policy="degraded"``, or an
+    episode-count blowup)."""
+
+
+@dataclass(frozen=True)
+class RecoveryEpisode:
+    """One detected failure and the re-plan that answered it.
+
+    Cycles are absolute (counted from the start of the whole collective,
+    across all preceding episodes).
+    """
+
+    fault_cycle: int  # when the triggering link(s) went down
+    detect_cycle: int  # when the stall was detected (engine raise cycle)
+    failed_links: Tuple[Edge, ...]  # links down at detection, canonical
+    policy: str  # "degraded" or "repaired" (what was actually applied)
+    trees_lost: Tuple[int, ...]  # severed tree indices (pre-replan order)
+    trees_regrown: int  # replacement trees grown (0 for degraded)
+    flits_delivered: int  # sum of delivered floors kept, not redone
+    flits_redone: int  # reduced-at-root but not delivered: re-submitted
+    bandwidth_before: float  # delivered elements / detect-cycle span
+
+    @property
+    def cycles_to_detect(self) -> int:
+        """Failure-to-stall latency: drain of in-flight/buffered work."""
+        return self.detect_cycle - self.fault_cycle
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of :func:`run_with_recovery`."""
+
+    stats: CycleStats  # final (completing) leg's engine stats
+    episodes: Tuple[RecoveryEpisode, ...]
+    total_cycles: int  # whole collective, all legs
+    flits_total: int  # original workload (sum of the initial partition)
+    final_num_trees: int
+    final_scheme: str
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.episodes)
+
+    @property
+    def cycles_to_detect(self) -> int:
+        """First episode's failure-to-stall latency (0 if no failure bit)."""
+        return self.episodes[0].cycles_to_detect if self.episodes else 0
+
+    @property
+    def recovery_cycles(self) -> int:
+        """Cycles spent after the first stall finishing the collective."""
+        return self.total_cycles - self.episodes[0].detect_cycle if self.episodes else 0
+
+    @property
+    def bandwidth_before(self) -> float:
+        """Measured bandwidth up to the first stall (elements/cycle); the
+        clean-run aggregate bandwidth when no failure bit."""
+        if self.episodes:
+            return self.episodes[0].bandwidth_before
+        return self.stats.aggregate_bandwidth
+
+    @property
+    def bandwidth_after(self) -> float:
+        """Measured bandwidth of the final leg (leftover elements/cycle)."""
+        return self.stats.aggregate_bandwidth
+
+    @property
+    def flits_redone(self) -> int:
+        return sum(e.flits_redone for e in self.episodes)
+
+
+def _replan(plan, failed: Sequence[Edge], policy: str):
+    """Apply the requested static recovery, returning (plan, policy used)."""
+    from repro.core.faults import degraded_plan, repaired_plan
+
+    if policy == "degraded":
+        try:
+            return degraded_plan(plan, failed), "degraded"
+        except ValueError as exc:
+            raise RecoveryError(f"degraded recovery impossible: {exc}") from exc
+    if policy == "repaired":
+        try:
+            return repaired_plan(plan, failed), "repaired"
+        except ValueError as exc:
+            raise RecoveryError(f"repaired recovery impossible: {exc}") from exc
+    # auto: prefer dropping trees (cheap), fall back to regrowing
+    try:
+        return degraded_plan(plan, failed), "degraded"
+    except ValueError:
+        try:
+            return repaired_plan(plan, failed), "repaired"
+        except ValueError as exc:
+            raise RecoveryError(f"no recovery possible: {exc}") from exc
+
+
+def run_with_recovery(
+    plan,
+    m: int,
+    faults: Optional[FaultSchedule] = None,
+    policy: str = "repaired",
+    engine: str = "leap",
+    link_capacity: int = 1,
+    buffer_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    max_episodes: int = 8,
+) -> RecoveryResult:
+    """Run an ``m``-element Allreduce under ``faults``, re-planning
+    mid-flight whenever a failure permanently severs progress.
+
+    ``policy`` selects the static machinery invoked on a stall:
+    ``"degraded"`` (:func:`~repro.core.faults.degraded_plan`, drop severed
+    trees), ``"repaired"`` (:func:`~repro.core.faults.repaired_plan`,
+    regrow replacements) or ``"auto"`` (degraded, falling back to repaired
+    when every tree was severed). ``max_cycles`` bounds the *total* cycle
+    count across all legs; ``max_episodes`` bounds cascading re-plans.
+
+    Transient failures the pipeline can ride out (a revival is still
+    scheduled) never trigger a re-plan — the engines idle-wait through
+    them — so a schedule of pure transients completes on the original
+    plan with ``episodes == ()``.
+    """
+    from repro.core.bandwidth import optimal_partition
+    from repro.core.faults import affected_trees
+    from repro.simulator.engine import make_engine
+
+    if policy not in RECOVERY_POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {RECOVERY_POLICIES}"
+        )
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    if faults is not None:
+        faults.validate_against(plan.topology)
+
+    cur_plan = plan
+    cur_m: List[int] = plan.partition(m)
+    flits_total = sum(cur_m)
+    cur_faults = faults if faults else None
+    episodes: List[RecoveryEpisode] = []
+    offset = 0  # absolute cycles consumed by previous legs
+
+    while True:
+        sim = make_engine(
+            engine,
+            cur_plan.topology,
+            cur_plan.trees,
+            cur_m,
+            link_capacity,
+            buffer_size,
+            faults=cur_faults,
+        )
+        leg_budget = None if max_cycles is None else max_cycles - offset
+        if leg_budget is not None and leg_budget <= 0:
+            raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+        try:
+            stats = sim.run(leg_budget)
+            return RecoveryResult(
+                stats=stats,
+                episodes=tuple(episodes),
+                total_cycles=offset + stats.cycles,
+                flits_total=flits_total,
+                final_num_trees=cur_plan.num_trees,
+                final_scheme=cur_plan.scheme,
+            )
+        except SimulationStalled as stall:
+            if len(episodes) >= max_episodes:
+                raise RecoveryError(
+                    f"gave up after {max_episodes} recovery episodes"
+                ) from stall
+            if cur_faults is None:
+                raise  # genuine deadlock, not a fault — don't mask it
+            detect = stall.cycle
+            failed = tuple(sorted(cur_faults.down_edges_at(detect)))
+            if not failed:
+                raise  # stalled with every link up: engine-level deadlock
+            fault_cycle = max(
+                ev.down for ev in cur_faults.events if ev.covers(detect)
+            )
+            delivered = sim.delivered_floor()
+            reduced = sim.reduced_at_root()
+            leftover = [mi - d for mi, d in zip(cur_m, delivered)]
+            dead = affected_trees(cur_plan.trees, failed)
+            dead_set = set(dead)
+            survivors = [i for i in range(len(cur_m)) if i not in dead_set]
+
+            new_plan, used = _replan(cur_plan, failed, policy)
+            if used == "repaired":
+                # survivors keep their order; replacements are appended in
+                # sorted(dead) order (repaired_plan's construction order)
+                # and inherit their predecessors' leftovers
+                new_m = [leftover[i] for i in survivors] + [
+                    leftover[i] for i in sorted(dead)
+                ]
+            else:
+                # severed trees' leftover pool is re-partitioned across the
+                # survivors by Equation 2 on the degraded bandwidths
+                pool = sum(leftover[i] for i in sorted(dead))
+                extra = optimal_partition(pool, new_plan.bandwidths)
+                new_m = [
+                    leftover[i] + x for i, x in zip(survivors, extra)
+                ]
+
+            episodes.append(
+                RecoveryEpisode(
+                    fault_cycle=offset + fault_cycle,
+                    detect_cycle=offset + detect,
+                    failed_links=failed,
+                    policy=used,
+                    trees_lost=tuple(dead),
+                    trees_regrown=len(dead) if used == "repaired" else 0,
+                    flits_delivered=sum(delivered),
+                    flits_redone=sum(
+                        r - d for r, d in zip(reduced, delivered)
+                    ),
+                    bandwidth_before=(
+                        sum(delivered) / detect if detect else 0.0
+                    ),
+                )
+            )
+            nxt = cur_faults.after(detect, drop_edges=failed)
+            cur_faults = nxt if nxt else None
+            cur_plan = new_plan
+            cur_m = new_m
+            offset += detect

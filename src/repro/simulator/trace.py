@@ -116,6 +116,7 @@ def trace_allreduce(
     max_cycles: Optional[int] = None,
     engine: str = "reference",
     compress: bool = False,
+    faults=None,
 ):
     """Step the selected cycle engine, recording channel activity.
 
@@ -127,10 +128,18 @@ def trace_allreduce(
     table. Engines exposing ``trace_compressed`` (the leap engine) emit
     leaps as single runs, keeping memory O(events); other engines are
     stepped and the dense columns are wrapped in one run.
+
+    ``faults`` (a :class:`~repro.simulator.faultsched.FaultSchedule`)
+    injects dynamic link failures; a permanently severed run raises
+    :class:`~repro.simulator.cycle.SimulationStalled` at the exact cycle
+    progress stopped, identically on every engine.
     """
+    from repro.simulator.cycle import SimulationStalled
     from repro.simulator.engine import make_engine
 
-    sim = make_engine(engine, g, trees, flits_per_tree, link_capacity, buffer_size)
+    sim = make_engine(
+        engine, g, trees, flits_per_tree, link_capacity, buffer_size, faults
+    )
     if compress and hasattr(sim, "trace_compressed"):
         return sim.trace_compressed(max_cycles=max_cycles)
     channels = sim.channels()
@@ -140,7 +149,7 @@ def trace_allreduce(
         max_cycles = 1 << 22
     cycle = 0
     while not sim.done():
-        sim.step()
+        moved = sim.step()
         cycle += 1
         if cycle > max_cycles:
             raise RuntimeError("trace exceeded max cycles")
@@ -148,6 +157,13 @@ def trace_allreduce(
         for i, (a, b) in enumerate(zip(now, prev)):
             series[i].append(a - b)
         prev = now
+        if moved == 0 and not sim.has_in_flight() and not sim.done():
+            pending = [i for i in range(len(sim.trees)) if not sim.tree_done(i)]
+            if pending and not (
+                sim.faults is not None
+                and sim.faults.next_revival_after(cycle) is not None
+            ):
+                raise SimulationStalled(cycle, pending)
     activity: Dict[Tuple[int, int], List[int]] = dict(zip(channels, series))
     dense = ChannelTrace(cycles=cycle, capacity=link_capacity, activity=activity)
     if compress:

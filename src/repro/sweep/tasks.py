@@ -34,6 +34,7 @@ BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
     "plan_metrics": "repro.analysis.crossover:plan_metrics",
     "scaling_row": "repro.analysis.scaling:scaling_row",
     "radix_points": "repro.analysis.radix_efficiency:radix_comparison",
+    "recovery_row": "repro.analysis.recovery:recovery_row",
     "fabric_config": "repro.sweep.tasks:fabric_config_json",
 }
 

@@ -51,6 +51,9 @@ __all__ = [
     "random_embedding",
     "CYCLE_ENGINES",
     "cycle_engines",
+    "fault_specs",
+    "materialize_faults",
+    "plan_used_links",
 ]
 
 #: every registered cycle-engine name, reference first (kept in sync with
@@ -168,3 +171,51 @@ def random_embedding(name: str, k: int, seed: int):
     """A named topology plus ``k`` seeded random spanning trees."""
     g = _topology(name)
     return g, random_spanning_trees(g, k, seed=seed)
+
+
+# --------------------------------------------------------- fault injection
+
+def fault_specs(max_events: int = 2, max_down: int = 40, max_window: int = 60,
+                transient_only: bool = False):
+    """Strategy over abstract fault specs: sorted tuples of
+    ``(link_rank, down, duration-or-None)``, independent of any concrete
+    topology. Distinct ranks per spec keep per-edge windows trivially
+    non-overlapping; :func:`materialize_faults` binds ranks to a plan's
+    used links. ``duration=None`` (a permanent failure) is excluded with
+    ``transient_only=True`` — the run then always completes."""
+    duration = st.integers(min_value=1, max_value=max_window)
+    if not transient_only:
+        duration = st.one_of(st.none(), duration)
+    event = st.tuples(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=max_down),
+        duration,
+    )
+    return st.lists(
+        event, min_size=1, max_size=max_events, unique_by=lambda e: e[0]
+    ).map(lambda evs: tuple(sorted(evs)))
+
+
+def plan_used_links(plan):
+    """Sorted physical links the embedding actually routes over."""
+    used = set()
+    for t in plan.trees:
+        used |= t.edges
+    return sorted(used)
+
+
+def materialize_faults(plan, spec):
+    """Bind an abstract fault spec to a plan, returning a
+    ``FaultSchedule`` over the plan's used links (ranks wrap around)."""
+    from repro.simulator import FaultSchedule
+
+    links = plan_used_links(plan)
+    seen = set()
+    events = []
+    for rank, down, dur in spec:
+        edge = links[rank % len(links)]
+        if edge in seen:  # distinct ranks can still alias after the wrap
+            continue
+        seen.add(edge)
+        events.append((edge, down, None if dur is None else down + dur))
+    return FaultSchedule(events)

@@ -26,11 +26,19 @@ from hypothesis import strategies as st
 
 from repro.core import InNetworkCollectives
 from repro.runtime import tree_allreduce_spmd
-from repro.simulator import execute_plan, packet_allreduce, simulate_allreduce
+from repro.simulator import (
+    SimulationStalled,
+    execute_plan,
+    packet_allreduce,
+    simulate_allreduce,
+    trace_allreduce,
+)
 
 from tests.strategies import (
     CYCLE_ENGINES,
     PLANS,
+    fault_specs,
+    materialize_faults,
     message_sizes,
     plan_keys,
     reduce_ops,
@@ -96,6 +104,60 @@ def test_packet_and_cycle_simulators_agree_on_timing(key, m):
         cstats = simulate_allreduce(plan.topology, plan.trees, parts, engine=engine)
         assert pstats.cycles == cstats.cycles
         assert pstats.flits_moved == cstats.flits_moved
+
+
+@given(
+    key=plan_keys(),
+    m=message_sizes(max_value=40),
+    spec=fault_specs(max_events=2, transient_only=True),
+)
+@settings(max_examples=20, deadline=None)
+def test_cycle_engines_agree_under_transient_faults(key, m, spec):
+    # an identical FaultSchedule on all three engines must yield
+    # bit-identical stats AND per-cycle traces (the fault layer may not
+    # perturb cycle-exactness)
+    plan = PLANS[key]
+    faults = materialize_faults(plan, spec)
+    parts = plan.partition(m)
+    ref = simulate_allreduce(
+        plan.topology, plan.trees, parts, engine="reference", faults=faults
+    )
+    t_ref = trace_allreduce(
+        plan.topology, plan.trees, parts, engine="reference", faults=faults
+    )
+    for engine in ("fast", "leap"):
+        stats = simulate_allreduce(
+            plan.topology, plan.trees, parts, engine=engine, faults=faults
+        )
+        assert stats == ref, engine
+        t = trace_allreduce(
+            plan.topology, plan.trees, parts, engine=engine, faults=faults
+        )
+        assert t.activity == t_ref.activity, engine
+
+
+@given(
+    key=plan_keys(),
+    m=message_sizes(min_value=4, max_value=40),
+    spec=fault_specs(max_events=1, max_down=30),
+)
+@settings(max_examples=20, deadline=None)
+def test_cycle_engines_agree_on_stall_or_completion(key, m, spec):
+    # permanent faults may sever the run: then every engine must raise
+    # SimulationStalled at the same cycle with the same pending trees
+    plan = PLANS[key]
+    faults = materialize_faults(plan, spec)
+    parts = plan.partition(m)
+    outcomes = {}
+    for engine in CYCLE_ENGINES:
+        try:
+            s = simulate_allreduce(
+                plan.topology, plan.trees, parts, engine=engine, faults=faults
+            )
+            outcomes[engine] = ("done", s.cycles, s.tree_completion)
+        except SimulationStalled as st_exc:
+            outcomes[engine] = ("stall", st_exc.cycle, st_exc.pending)
+    assert len(set(outcomes.values())) == 1, outcomes
 
 
 @given(seed=seeds(200))

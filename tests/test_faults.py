@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import build_plan
 from repro.core.faults import (
@@ -11,6 +13,8 @@ from repro.core.faults import (
     repaired_plan,
 )
 from repro.simulator import execute_plan, verify_plan
+
+from tests.strategies import PLANS, plan_keys, plan_used_links
 
 
 def pick_tree_edge(plan, tree_index=0):
@@ -61,6 +65,25 @@ class TestRemoveLinks:
         )
         with pytest.raises(ValueError):
             remove_links(plan.topology, [non_edge])
+
+    def test_rejects_duplicate_entries(self):
+        # listing a link twice is a caller bug (e.g. double-counting the
+        # Theorem 7.6 bound), not a request to remove it once
+        plan = build_plan(3, "single")
+        u, v = pick_tree_edge(plan)
+        with pytest.raises(ValueError, match="duplicate"):
+            remove_links(plan.topology, [(u, v), (u, v)])
+        # the swapped spelling is the same physical link
+        with pytest.raises(ValueError, match="duplicate"):
+            remove_links(plan.topology, [(u, v), (v, u)])
+
+    def test_self_loops_preserved_regression(self):
+        # PolarFly quadrics carry self-loops; removing a link must not
+        # drop them (they are the per-node injection ports, not links)
+        plan = build_plan(5, "low-depth")
+        assert plan.topology.self_loops  # the regression's precondition
+        g = remove_links(plan.topology, [pick_tree_edge(plan)])
+        assert g.self_loops == plan.topology.self_loops
 
 
 class TestDegradedPlan:
@@ -133,3 +156,91 @@ class TestRepairedPlan:
         e = pick_tree_edge(plan)
         assert repaired_plan(plan, [e]).scheme == "low-depth+repaired"
         assert degraded_plan(plan, [e]).scheme == "low-depth+degraded"
+
+
+# ---------------------------------------------------------------------------
+# property-based invariants over the whole (q, scheme) plan zoo
+
+
+def _pick_links(plan, ranks):
+    """Distinct used links selected by (wrapping) ranks — deterministic."""
+    links = plan_used_links(plan)
+    out = []
+    for r in ranks:
+        e = links[r % len(links)]
+        if e not in out:
+            out.append(e)
+    return out
+
+
+class TestFaultProperties:
+    @given(
+        key=plan_keys(),
+        ranks=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=3
+        ),
+        policy=st.sampled_from(["degraded", "repaired"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_recovered_tree_uses_a_failed_link(self, key, ranks, policy):
+        plan = PLANS[key]
+        failed = _pick_links(plan, ranks)
+        rebuild = degraded_plan if policy == "degraded" else repaired_plan
+        try:
+            new = rebuild(plan, failed)
+        except ValueError:
+            return  # no survivors / disconnected: rejection is the contract
+        bad = set(failed)
+        for t in new.trees:
+            assert not (t.edges & bad)
+        assert verify_plan(new)
+
+    @given(
+        key=plan_keys(),
+        ranks=st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degraded_bandwidth_monotone_under_more_failures(self, key, ranks):
+        # adding a failure can only shrink (or keep) the degraded
+        # aggregate bandwidth: the survivor set only loses trees
+        plan = PLANS[key]
+        failed = _pick_links(plan, ranks)
+        if len(failed) < 2:
+            return
+        prefix, full = failed[:-1], failed
+        try:
+            wide = degraded_plan(plan, prefix)
+        except ValueError:
+            return
+        try:
+            narrow = degraded_plan(plan, full)
+        except ValueError:
+            return  # losing every tree is the extreme of "non-increasing"
+        assert narrow.aggregate_bandwidth <= wide.aggregate_bandwidth
+        assert narrow.num_trees <= wide.num_trees
+
+    @given(
+        key=plan_keys(),
+        ranks=st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trees_lost_per_link_bounded_by_congestion(self, key, ranks):
+        # Theorem 7.6: a failed link kills at most congestion-many trees —
+        # exactly <= 1 for the edge-disjoint scheme, <= 2 for Algorithm 3
+        plan = PLANS[key]
+        failed = _pick_links(plan, ranks)
+        lost = len(affected_trees(plan.trees, failed))
+        per_link = plan.max_congestion
+        if key[1] == "edge-disjoint":
+            assert per_link <= 1  # the scheme's defining property
+        assert lost <= per_link * len(failed)
