@@ -62,6 +62,13 @@ from repro.analysis.table2 import (
     table2_data,
     table2_matches_paper,
 )
+from repro.analysis.telemetry import (
+    TelemetryRow,
+    render_telemetry,
+    telemetry_cells,
+    telemetry_data,
+    telemetry_row,
+)
 
 __all__ = [
     "CrossoverPoint",
@@ -111,6 +118,11 @@ __all__ = [
     "recovery_cells",
     "recovery_data",
     "render_recovery",
+    "TelemetryRow",
+    "telemetry_row",
+    "telemetry_cells",
+    "telemetry_data",
+    "render_telemetry",
     "NetworkPoint",
     "radix_comparison",
     "render_radix_comparison",

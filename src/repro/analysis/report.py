@@ -21,6 +21,7 @@ from repro.analysis.figure5 import figure5_cells, render_figure5
 from repro.analysis.recovery import recovery_cells, render_recovery
 from repro.analysis.table1 import table1_cells, render_table1
 from repro.analysis.table2 import render_table2
+from repro.analysis.telemetry import telemetry_cells, render_telemetry
 
 __all__ = ["full_report", "report_cells"]
 
@@ -62,6 +63,7 @@ def _sections(
             ],
         ),
         (recovery_cells(engine=engine), lambda rs: [render_recovery(rs)]),
+        (telemetry_cells(engine=engine), lambda rs: [render_telemetry(rs)]),
         ([cell("errata", q=3, d0=0, d1=1)], lambda rs: [rs[0]]),
     ]
 

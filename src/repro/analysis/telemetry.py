@@ -1,0 +1,149 @@
+"""E-A13 — telemetry probe summary: link utilization and queue depth.
+
+For a grid of (radix, scheme) points, runs an instrumented Allreduce
+(:class:`repro.telemetry.Collector` attached to the cycle engine) and
+summarizes what the probes saw:
+
+- mean/peak link utilization across all directed channels and sample
+  windows (window flits over ``sample_every * capacity``);
+- the hottest directed links (mean utilization, total sampled flits);
+- the deepest per-router receiver queues ever sampled;
+- end-of-run counters (flit-hops split into reduce/broadcast, stall
+  cycles).
+
+Telemetry is cycle-exact and engine-independent — the reference, fast
+and leap engines emit byte-identical JSONL for the same run (the leap
+engine reconstructs samples inside jumped regions from the verified
+steady-state period) — so every row is deterministic and the ``engine``
+parameter only changes how fast the row is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "TelemetryRow",
+    "telemetry_row",
+    "telemetry_cells",
+    "telemetry_data",
+    "render_telemetry",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryRow:
+    q: int
+    scheme: str
+    m: int
+    engine: str
+    sample_every: int
+    cycles: int
+    samples: int
+    channels: int
+    flits_moved: int
+    reduce_hops: int
+    broadcast_hops: int
+    stall_cycles: int
+    mean_util: float  # mean over channels and windows
+    peak_util: float  # busiest single (channel, window) cell
+    hot_links: Tuple[Tuple[Tuple[int, int], float, int], ...]  # top busiest
+    queue_peak: int  # deepest sampled receiver queue
+    queue_peak_router: int  # router holding it (-1 if never sampled)
+
+
+def telemetry_row(
+    q: int,
+    scheme: str = "low-depth",
+    m: int = 360,
+    sample_every: int = 32,
+    engine: str = "leap",
+    top: int = 3,
+) -> TelemetryRow:
+    """One table row — registered as the ``telemetry_row`` sweep task."""
+    from repro.core.plan import build_plan
+    from repro.simulator.cycle import simulate_allreduce
+    from repro.telemetry import Collector, loads_telemetry
+
+    plan = build_plan(q, scheme)
+    parts = plan.partition(m)
+    col = Collector(sample_every=sample_every)
+    stats = simulate_allreduce(
+        plan.topology, plan.trees, parts, engine=engine, telemetry=col
+    )
+    run = loads_telemetry(col.to_jsonl())
+    leg = run.leg(0)
+    util = run.utilization(0)
+    counters = col.counters[0]
+    peaks = run.queue_peaks(top=1)
+    return TelemetryRow(
+        q=q,
+        scheme=scheme,
+        m=m,
+        engine=engine,
+        sample_every=sample_every,
+        cycles=stats.cycles,
+        samples=int(util.shape[0]),
+        channels=len(leg.channels),
+        flits_moved=counters.flits_moved,
+        reduce_hops=sum(counters.reduce_hops),
+        broadcast_hops=sum(counters.broadcast_hops),
+        stall_cycles=counters.stall_cycles,
+        mean_util=float(util.mean()) if util.size else 0.0,
+        peak_util=float(util.max()) if util.size else 0.0,
+        hot_links=tuple(run.hot_links(top=top)),
+        queue_peak=peaks[0][1] if peaks else 0,
+        queue_peak_router=peaks[0][0] if peaks else -1,
+    )
+
+
+def telemetry_cells(
+    qs: Sequence[int] = (5, 7),
+    schemes: Sequence[str] = ("low-depth", "edge-disjoint"),
+    m: int = 360,
+    sample_every: int = 32,
+    engine: str = "leap",
+) -> list:
+    """The report's telemetry grid, in row-major (q, scheme) order."""
+    from repro.sweep.spec import cell
+
+    return [
+        cell(
+            "telemetry_row",
+            q=q,
+            scheme=s,
+            m=m,
+            sample_every=sample_every,
+            engine=engine,
+        )
+        for q in qs
+        for s in schemes
+    ]
+
+
+def telemetry_data(sweep=None, **grid) -> List[TelemetryRow]:
+    """Run the telemetry grid (optionally through a provided runner)."""
+    from repro.sweep.engine import default_runner
+
+    runner = sweep or default_runner()
+    return runner.run(telemetry_cells(**grid))
+
+
+def render_telemetry(rows: Sequence[TelemetryRow]) -> str:
+    out = [
+        "Telemetry — link utilization and queue probes "
+        "(E-A13; sampled every k cycles, identical on every engine)",
+        "  q scheme           m  cycles  util mean/peak  stalls  qpeak"
+        "  hot links (mean util)",
+    ]
+    for r in rows:
+        hot = " ".join(
+            f"{u}->{v}:{mu:.2f}" for (u, v), mu, _ in r.hot_links
+        )
+        out.append(
+            f" {r.q:>2} {r.scheme:<14} {r.m:>4} {r.cycles:>7} "
+            f"  {r.mean_util:>5.3f}/{r.peak_util:>5.3f} {r.stall_cycles:>7} "
+            f"{r.queue_peak:>6}  {hot}"
+        )
+    return "\n".join(out)

@@ -6,6 +6,7 @@ Commands
 ``plan Q``          build an embedding plan and print its metrics
 ``simulate Q``      run the cycle-level simulator against the model
 ``faults Q``        kill a link mid-Allreduce, recover, report latencies
+``telemetry Q``     instrumented run: hot links, queue peaks, JSONL trace
 ``report``          regenerate every paper table/figure as text
 ``sweep``           parallel, cache-backed artifact regeneration
 ``export Q``        emit DOT/GraphML for the topology or an embedding
@@ -80,6 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-flow credit buffer slots (default: unbounded)")
     s.add_argument("--capacity", type=int, default=1,
                    help="link capacity in flits/cycle")
+
+    s = sub.add_parser(
+        "telemetry",
+        help="instrumented run: utilization heatmap, hot links, queue peaks",
+        description="Attach the telemetry collector to a cycle engine, run an "
+        "Allreduce, and render what the probes saw: a per-window utilization "
+        "heatmap for the hottest directed links, the top-N hot links by mean "
+        "utilization, the deepest receiver queues and the end-of-run "
+        "counters. The JSONL event stream (-o) is byte-identical no matter "
+        "which engine produced it.",
+    )
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("-m", type=int, default=600, help="total flits")
+    s.add_argument("--engine", default="leap",
+                   choices=("reference", "fast", "leap"))
+    s.add_argument("--sample-every", type=int, default=32, metavar="K",
+                   help="probe period in cycles (default 32)")
+    s.add_argument("--top", type=int, default=5,
+                   help="hot links / queue peaks to list (default 5)")
+    s.add_argument("--buffer", type=int, default=None, metavar="SLOTS",
+                   help="per-flow credit buffer slots (default: unbounded)")
+    s.add_argument("--capacity", type=int, default=1,
+                   help="link capacity in flits/cycle")
+    s.add_argument("--perf", action="store_true",
+                   help="include the engine-identifying perf record "
+                        "(construction stage timings, step/leap tallies)")
+    s.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="write the JSONL event trace to FILE")
 
     s = sub.add_parser("report", help="regenerate all paper tables/figures")
     s.add_argument("--qmax", type=int, default=128)
@@ -231,6 +262,66 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+_HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.core import build_plan
+    from repro.simulator import simulate_allreduce
+    from repro.telemetry import Collector, loads_telemetry
+    from repro.utils.profiling import StageTimer
+
+    timer = StageTimer()
+    with timer.stage("plan"):
+        plan = build_plan(args.q, args.scheme)
+    parts = plan.partition(args.m)
+    col = Collector(sample_every=args.sample_every, include_perf=args.perf)
+    col.set_construction(timer)
+    stats = simulate_allreduce(
+        plan.topology,
+        plan.trees,
+        parts,
+        link_capacity=args.capacity,
+        buffer_size=args.buffer,
+        engine=args.engine,
+        telemetry=col,
+    )
+    run = loads_telemetry(col.to_jsonl())
+    util = run.utilization(0)
+    counters = col.counters[0]
+    print(f"scheme={args.scheme} q={args.q} m={args.m} engine={args.engine}: "
+          f"{stats.cycles} cycles, {util.shape[0]} samples every "
+          f"{args.sample_every} cycles over {util.shape[1]} channels")
+    print(f"  flit-hops {counters.flits_moved} "
+          f"(reduce {sum(counters.reduce_hops)}, "
+          f"broadcast {sum(counters.broadcast_hops)}), "
+          f"stall cycles {counters.stall_cycles}, "
+          f"plan construction {timer.total_ns() / 1e6:.1f} ms")
+
+    hot = run.hot_links(top=args.top)
+    if hot and util.shape[0]:
+        chan_index = {c: i for i, c in enumerate(run.leg(0).channels)}
+        print(f"  utilization heatmap (rows: top {len(hot)} links; "
+              f"cols: sample windows; scale '{_HEAT_GLYPHS}' = 0..1):")
+        for (u, v), _, _ in hot:
+            row = util[:, chan_index[(u, v)]]
+            cells = "".join(
+                _HEAT_GLYPHS[min(int(x * len(_HEAT_GLYPHS)), len(_HEAT_GLYPHS) - 1)]
+                for x in row
+            )
+            print(f"    {u:>3}->{v:<3} |{cells}|")
+    print(f"  top {len(hot)} hot links (mean utilization / sampled flits):")
+    for (u, v), mean, total in hot:
+        print(f"    {u:>3}->{v:<3}  {mean:>6.3f}  {total:>6}")
+    peaks = run.queue_peaks(top=args.top)
+    print("  deepest receiver queues (router: peak sampled occupancy): "
+          + (", ".join(f"{r}:{p}" for r, p in peaks) if peaks else "none"))
+    if args.output:
+        col.write(args.output)
+        print(f"  wrote {len(col.records)} JSONL records to {args.output}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis import full_report
 
@@ -352,6 +443,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "faults": _cmd_faults,
+    "telemetry": _cmd_telemetry,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "config": _cmd_config,

@@ -165,7 +165,13 @@ class CycleSimulator:
     faults:
         Optional :class:`~repro.simulator.faultsched.FaultSchedule`; down
         links grant zero flits (see module docstring for the semantics).
+    telemetry:
+        Optional :class:`~repro.telemetry.Collector`; receives per-cycle
+        hooks and sampled probes. ``None`` (the default) keeps the hot
+        path hook-free.
     """
+
+    engine_name = "reference"
 
     def __init__(
         self,
@@ -175,6 +181,7 @@ class CycleSimulator:
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
+        telemetry=None,
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
@@ -194,6 +201,7 @@ class CycleSimulator:
         self.capacity = link_capacity
         self.buffer_size = buffer_size
         self.faults = faults if faults else None
+        self.telemetry = telemetry
         self.cycle = 0  # cycles stepped so far (the c-th step is cycle c)
 
         # Per-tree state.
@@ -282,6 +290,27 @@ class CycleSimulator:
             return self.bc_delivered[ti][dst]
         return min(self._sent_snap[f] for f in kids_bc)
 
+    def _consumed_now(self, flow: _Flow) -> int:
+        """Like :meth:`_consumed` but against the *current* counters (not
+        the start-of-cycle snapshot) — the post-step receiver-side view
+        the telemetry queue probe samples."""
+        ti = flow.tree
+        dst = flow.dst
+        t = self.trees[ti]
+        if flow.kind == REDUCE:
+            if dst == t.root:
+                kids_bc = self._bc_flows_from.get((ti, dst), [])
+                return (
+                    min(self.flows[f].sent for f in kids_bc)
+                    if kids_bc
+                    else self.m[ti]
+                )
+            return self.flows[self._up_flow_of[(ti, dst)]].sent
+        kids_bc = self._bc_flows_from.get((ti, dst), [])
+        if not kids_bc:
+            return self.bc_delivered[ti][dst]
+        return min(self.flows[f].sent for f in kids_bc)
+
     def _credit(self, fid: int) -> int:
         """Remaining credit slots for flow ``fid`` (inf when unbuffered)."""
         if self.buffer_size is None:
@@ -341,6 +370,27 @@ class CycleSimulator:
             min(self._aggregated(ti, t.root), self.m[ti])
             for ti, t in enumerate(self.trees)
         ]
+
+    def queue_occupancy(self) -> List[int]:
+        """Per-router receiver-side queue occupancy: flits sent toward the
+        router (landed or in flight) minus flits its consumer stage has
+        drained — the occupancy a credit buffer would hold. Identical
+        across engines at every cycle (telemetry-differential-tested)."""
+        out = [0] * self.n
+        for fl in self.flows:
+            out[fl.dst] += fl.sent - self._consumed_now(fl)
+        return out
+
+    def phase_flit_totals(self) -> Tuple[List[int], List[int]]:
+        """Cumulative (reduce, broadcast) flit-hops per tree."""
+        red = [0] * len(self.trees)
+        bc = [0] * len(self.trees)
+        for fl in self.flows:
+            if fl.kind == REDUCE:
+                red[fl.tree] += fl.sent
+            else:
+                bc[fl.tree] += fl.sent
+        return red, bc
 
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
@@ -411,11 +461,16 @@ class CycleSimulator:
         completion = [0] * len(self.trees)
         done = [self._tree_done(i) for i in range(len(self.trees))]
         cycle = 0
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_run_start(self)
         while not all(done):
             moved = self.step()
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if tel is not None:
+                tel.on_cycle(self, cycle, moved)
             if moved == 0 and not self._landing:
                 # no progress and nothing in flight => deadlock, unless a
                 # scheduled link revival can still unblock the pipeline
@@ -425,12 +480,16 @@ class CycleSimulator:
                         self.faults is not None
                         and self.faults.next_revival_after(cycle) is not None
                     ):
+                        if tel is not None:
+                            tel.on_run_end(self, cycle, False)
                         raise SimulationStalled(cycle, pending)
             for i in range(len(done)):
                 if not done[i] and self._tree_done(i):
                     done[i] = True
                     completion[i] = cycle
         total_cycles = max(completion) if completion else 0
+        if tel is not None:
+            tel.on_run_end(self, total_cycles, True)
         loads = [c for c in self.channel_flits.values() if c > 0]
         denom = total_cycles * self.capacity
         return CycleStats(
@@ -456,6 +515,7 @@ def simulate_allreduce(
     buffer_size: Optional[int] = None,
     engine: str = "reference",
     faults: Optional[FaultSchedule] = None,
+    telemetry=None,
 ) -> CycleStats:
     """One-shot cycle simulation with a selectable engine.
 
@@ -470,10 +530,31 @@ def simulate_allreduce(
     ``faults`` injects a dynamic link-failure schedule, honored
     identically by every engine; a run severed for good raises
     :class:`SimulationStalled` at the exact cycle progress stopped.
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.Collector`; the run
+    emits counters and sampled link/queue probes into it (byte-identical
+    across engines) and finalizes the stream — including on a stall, so
+    a severed run still yields a complete JSONL log before the exception
+    propagates.
     """
     from repro.simulator.engine import make_engine
 
     sim = make_engine(
-        engine, g, trees, flits_per_tree, link_capacity, buffer_size, faults
+        engine,
+        g,
+        trees,
+        flits_per_tree,
+        link_capacity,
+        buffer_size,
+        faults,
+        telemetry=telemetry,
     )
-    return sim.run(max_cycles)
+    try:
+        stats = sim.run(max_cycles)
+    except SimulationStalled as stall:
+        if telemetry is not None:
+            telemetry.finish(stall.cycle, completed=False)
+        raise
+    if telemetry is not None:
+        telemetry.finish(stats.cycles, completed=True)
+    return stats

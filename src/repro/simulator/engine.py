@@ -67,11 +67,20 @@ class CycleEngine(Protocol):
     nothing, stalls raise
     :class:`~repro.simulator.cycle.SimulationStalled` at the exact same
     cycle on every engine.
+
+    For telemetry, engines expose ``queue_occupancy`` (per-router
+    receiver-side occupancy) and ``phase_flit_totals`` (per-tree
+    reduce/broadcast flit-hops) — both cycle-exact across engines — and
+    accept an optional :class:`~repro.telemetry.Collector` (the
+    ``telemetry`` attribute) whose hooks ``run`` drives; ``None`` keeps
+    the hot path hook-free.
     """
 
+    engine_name: str
     capacity: int
     buffer_size: Optional[int]
     faults: Optional[FaultSchedule]
+    telemetry: object
     cycle: int
 
     def step(self) -> int: ...
@@ -89,6 +98,10 @@ class CycleEngine(Protocol):
     def delivered_floor(self) -> List[int]: ...
 
     def reduced_at_root(self) -> List[int]: ...
+
+    def queue_occupancy(self) -> List[int]: ...
+
+    def phase_flit_totals(self) -> Tuple[List[int], List[int]]: ...
 
     def run(self, max_cycles: Optional[int] = None) -> CycleStats: ...
 
@@ -108,13 +121,23 @@ def make_engine(
     link_capacity: int = 1,
     buffer_size: Optional[int] = None,
     faults: Optional[FaultSchedule] = None,
+    telemetry=None,
 ) -> "CycleEngine":
     """Instantiate the named cycle engine (``"reference"``, ``"fast"`` or
-    ``"leap"``), optionally bound to a dynamic fault schedule."""
+    ``"leap"``), optionally bound to a dynamic fault schedule and/or a
+    :class:`~repro.telemetry.Collector`."""
     try:
         cls = ENGINES[engine]
     except KeyError:
         raise ValueError(
             f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
         ) from None
-    return cls(g, trees, flits_per_tree, link_capacity, buffer_size, faults=faults)
+    return cls(
+        g,
+        trees,
+        flits_per_tree,
+        link_capacity,
+        buffer_size,
+        faults=faults,
+        telemetry=telemetry,
+    )

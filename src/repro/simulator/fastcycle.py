@@ -64,6 +64,8 @@ class FastCycleSimulator:
     engine's.
     """
 
+    engine_name = "fast"
+
     def __init__(
         self,
         g: Graph,
@@ -72,6 +74,7 @@ class FastCycleSimulator:
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
+        telemetry=None,
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
@@ -91,6 +94,7 @@ class FastCycleSimulator:
         self.capacity = link_capacity
         self.buffer_size = buffer_size
         self.faults = faults if faults else None
+        self.telemetry = telemetry
         self.cycle = 0  # cycles stepped so far (the c-th step is cycle c)
 
         n = g.n
@@ -127,6 +131,10 @@ class FastCycleSimulator:
         is_reduce = np.asarray(f_is_reduce, dtype=bool).reshape(F)
         roots = np.asarray([t.root for t in self.trees], dtype=np.int64)
         self._roots = roots
+        # per-flow metadata kept for telemetry (queue/phase aggregation)
+        self._flow_tree = tree_arr
+        self._flow_dst = dst_arr
+        self._flow_is_reduce = is_reduce
 
         self.sent = np.zeros(F, dtype=np.int64)
 
@@ -208,6 +216,18 @@ class FastCycleSimulator:
         self._agg_root_idx = fidx(
             np.full(T, _AGG, dtype=np.int64), np.arange(T, dtype=np.int64), roots
         ) if T else np.zeros(0, dtype=np.int64)
+        # consumption-group map: flow -> the minimum.reduceat group whose
+        # min is the flow's consumed counter (-1 for flows whose consumed
+        # counter is a raw 'sent'/BCD value). Shared by the telemetry
+        # queue probe here and the leap verifier's credit extrapolation.
+        bcm_pos = {int(ix): gi for gi, ix in enumerate(self._grp_bcm_idx)}
+        self._cons_grp = np.asarray(
+            [
+                -1 if cons_from_sent[f] else bcm_pos.get(int(ix), -1)
+                for f, ix in enumerate(cons_state)
+            ],
+            dtype=np.int64,
+        ) if F else np.zeros(0, dtype=np.int64)
 
         # ---- per-channel arbitration structures
         self._chs: List[Tuple[int, int]] = list(channel_flows)
@@ -450,6 +470,47 @@ class FastCycleSimulator:
         agg = self._flat[self._agg_root_idx]
         return [int(min(a, mi)) for a, mi in zip(agg, self._m_arr)]
 
+    def _consumed_now(self) -> np.ndarray:
+        """Per-flow consumed counters against the *current* state (the
+        post-step receiver-side view; reference `_consumed_now` semantics,
+        vectorized). Computes broadcast-min groups into a local — never
+        into the BCM plane, whose step-time update pattern the leap
+        verifier depends on."""
+        sent = self.sent
+        if len(self._grp_off):
+            bcm = np.minimum.reduceat(sent[self._child_bcfid], self._grp_off)
+        else:
+            bcm = np.zeros(0, dtype=np.int64)
+        return np.where(
+            self._cons_from_sent,
+            sent[self._cons_sent_fid],
+            np.where(
+                self._cons_grp >= 0,
+                bcm[np.maximum(self._cons_grp, 0)] if bcm.size else np.int64(0),
+                self._flat[self._cons_state_idx],
+            ),
+        )
+
+    def queue_occupancy(self) -> List[int]:
+        """Per-router receiver-side queue occupancy (reference semantics,
+        one bincount)."""
+        if self._F == 0:
+            return [0] * self.n
+        outstanding = self.sent - self._consumed_now()
+        out = np.zeros(self.n, dtype=np.int64)
+        np.add.at(out, self._flow_dst, outstanding)
+        return [int(x) for x in out]
+
+    def phase_flit_totals(self) -> Tuple[List[int], List[int]]:
+        """Cumulative (reduce, broadcast) flit-hops per tree."""
+        red = np.zeros(self._T, dtype=np.int64)
+        bc = np.zeros(self._T, dtype=np.int64)
+        if self._F:
+            up = self._flow_is_reduce
+            np.add.at(red, self._flow_tree[up], self.sent[up])
+            np.add.at(bc, self._flow_tree[~up], self.sent[~up])
+        return [int(x) for x in red], [int(x) for x in bc]
+
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
         """Run to completion of all trees; raises :class:`SimulationStalled`
         on stall and ``RuntimeError`` when ``max_cycles`` is exceeded
@@ -462,11 +523,16 @@ class FastCycleSimulator:
         completion = [0] * T
         done = self._done_mask()
         cycle = 0
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_run_start(self)
         while not done.all():
             moved = self.step()
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if tel is not None:
+                tel.on_cycle(self, cycle, moved)
             now = self._done_mask()
             if moved == 0 and not len(self._pending_fids):
                 if not now.all():
@@ -475,6 +541,8 @@ class FastCycleSimulator:
                         self.faults is not None
                         and self.faults.next_revival_after(cycle) is not None
                     ):
+                        if tel is not None:
+                            tel.on_run_end(self, cycle, False)
                         raise SimulationStalled(cycle, pending)
             newly = now & ~done
             if newly.any():
@@ -482,6 +550,8 @@ class FastCycleSimulator:
                     completion[i] = cycle
                 done = done | now
         total_cycles = max(completion) if completion else 0
+        if tel is not None:
+            tel.on_run_end(self, total_cycles, True)
         loads = [int(c) for c in self._ch_cum if c > 0]
         denom = total_cycles * self.capacity
         return CycleStats(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.topology.graph import Edge, Graph, canonical_edge
 
@@ -85,9 +85,17 @@ class FaultSchedule:
                     raise ValueError(
                         f"fault event {ev!r} must be (edge, down[, up])"
                     )
-                ev = FaultEvent(canonical_edge(*edge), int(down), None if up is None else int(up))
+                ev = FaultEvent(
+                    canonical_edge(*edge),
+                    int(down),
+                    None if up is None else int(up),
+                )
             else:
-                ev = FaultEvent(canonical_edge(*ev.edge), int(ev.down), ev.up if ev.up is None else int(ev.up))
+                ev = FaultEvent(
+                    canonical_edge(*ev.edge),
+                    int(ev.down),
+                    ev.up if ev.up is None else int(ev.up),
+                )
             u, v = ev.edge
             if u == v:
                 raise ValueError(f"fault edge {ev.edge} is a self-loop, not a link")
@@ -111,7 +119,14 @@ class FaultSchedule:
                 )
         # canonical event order: by failure cycle, then edge
         self.events: Tuple[FaultEvent, ...] = tuple(
-            sorted(norm, key=lambda e: (e.down, e.edge, e.up if e.up is not None else _NO_UP))
+            sorted(
+                norm,
+                key=lambda e: (
+                    e.down,
+                    e.edge,
+                    e.up if e.up is not None else _NO_UP,
+                ),
+            )
         )
         cycles = {e.down for e in self.events}
         cycles.update(e.up for e in self.events if e.up is not None)

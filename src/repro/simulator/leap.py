@@ -69,11 +69,11 @@ class _Steady:
 
     __slots__ = (
         "period", "k_bound", "r_flat", "r_sent", "r_chcum", "r_moved",
-        "phase_chd",
+        "phase_chd", "phase_q", "phase_dq",
     )
 
     def __init__(self, period, k_bound, r_flat, r_sent, r_chcum, r_moved,
-                 phase_chd):
+                 phase_chd, phase_q=None, phase_dq=None):
         self.period = period
         self.k_bound = k_bound          # max whole periods leapable now
         self.r_flat = r_flat            # per-period delta of the state tensor
@@ -81,6 +81,9 @@ class _Steady:
         self.r_chcum = r_chcum          # per-period per-channel flits
         self.r_moved = r_moved          # per-period total flits
         self.phase_chd = phase_chd      # (C, P) per-phase channel activity
+        # telemetry reconstruction (recorded only with a collector attached):
+        self.phase_q = phase_q          # (P, n) verified per-phase queues
+        self.phase_dq = phase_dq        # (P, n) per-period queue drift
 
 
 class LeapCycleSimulator(FastCycleSimulator):
@@ -111,6 +114,8 @@ class LeapCycleSimulator(FastCycleSimulator):
     #: verification memory budget, in (period × flows) recorded values
     _VERIFY_BUDGET = 1 << 19
 
+    engine_name = "leap"
+
     def __init__(
         self,
         g: Graph,
@@ -119,8 +124,12 @@ class LeapCycleSimulator(FastCycleSimulator):
         link_capacity: int = 1,
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
+        telemetry=None,
     ):
-        super().__init__(g, trees, flits_per_tree, link_capacity, buffer_size, faults)
+        super().__init__(
+            g, trees, flits_per_tree, link_capacity, buffer_size, faults,
+            telemetry=telemetry,
+        )
         # flow -> channel index (for per-phase channel activity blocks)
         flow_ch = np.zeros(self._F, dtype=np.int64)
         for ci, ch in enumerate(self._chs):
@@ -145,14 +154,6 @@ class LeapCycleSimulator(FastCycleSimulator):
         agg_pos = {int(ix): g for g, ix in enumerate(self._grp_agg_idx)}
         self._avail_grp = np.asarray(
             [agg_pos.get(int(ix), -1) for ix in self._avail_idx], dtype=np.int64
-        ) if self._F else np.zeros(0, dtype=np.int64)
-        bcm_pos = {int(ix): g for g, ix in enumerate(self._grp_bcm_idx)}
-        self._cons_grp = np.asarray(
-            [
-                -1 if self._cons_from_sent[f] else bcm_pos.get(int(ix), -1)
-                for f, ix in enumerate(self._cons_state_idx)
-            ],
-            dtype=np.int64,
         ) if self._F else np.zeros(0, dtype=np.int64)
         self.leap_log: List[Tuple[int, int, int]] = []
         self.stepped_cycles = 0
@@ -244,6 +245,8 @@ class LeapCycleSimulator(FastCycleSimulator):
             "credit2": [],      # inputs: the values the leap extrapolates
             "aggch2": [],       # from, so only the final period is kept
             "bcmch2": [],
+            "queue2": [],       # telemetry only: post-step queues and the
+            "bcm2t": [],        # post-step broadcast-min inputs per phase
             "flat0": self._flat.copy(),
             "sent0": self.sent.copy(),
         }
@@ -287,6 +290,14 @@ class LeapCycleSimulator(FastCycleSimulator):
             rec["credit2"].append(credit)
             rec["aggch2"].append(self._flat[self._child_up_idx])
             rec["bcmch2"].append(bcmch)
+            if self.telemetry is not None:
+                # the queue probe's exact per-phase values, recorded
+                # post-step so in-leap reconstruction lands on the same
+                # observation instants the per-cycle engines sample at
+                rec["queue2"].append(
+                    np.asarray(self.queue_occupancy(), dtype=np.int64)
+                )
+                rec["bcm2t"].append(self.sent[self._child_bcfid].copy())
             if j == 2 * P - 1:
                 self._finalize_verify()
                 return
@@ -390,16 +401,20 @@ class LeapCycleSimulator(FastCycleSimulator):
         # the two verify periods could silently corrupt
         child_rates = r_flat[self._child_up_idx]
         buffered = self.buffer_size is not None
-        bc_rates = r_sent[self._child_bcfid] if buffered else None
+        tel_on = self.telemetry is not None
+        need_cons = buffered or tel_on
+        bc_rates = r_sent[self._child_bcfid] if need_cons else None
         r_cons_base = (
             np.where(
                 self._cons_from_sent,
                 r_sent[self._cons_sent_fid],
                 r_flat[self._cons_state_idx],
             )
-            if buffered
+            if need_cons
             else None
         )
+        phase_q: List[np.ndarray] = []
+        phase_dq: List[np.ndarray] = []
         for j in range(P):
             if k <= 0:
                 break
@@ -424,6 +439,27 @@ class LeapCycleSimulator(FastCycleSimulator):
                     r_cons_base,
                 )
                 k = min(k, self._regime_bound(rec["credit2"][j], r_cons - r_sent))
+            if tel_on:
+                # license linear queue reconstruction inside the leap: the
+                # post-step broadcast mins must advance at their argmin-
+                # stable rate too (one extra bound on k), and the queue
+                # drift is derived from those rates — never from boundary
+                # deltas, which argmin churn could corrupt
+                rstar_bcm_t, bb_t = self._min_group_terms(
+                    rec["bcm2t"][j], bc_rates
+                )
+                k = min(k, bb_t)
+                r_cons_t = np.where(
+                    self._cons_grp >= 0,
+                    rstar_bcm_t[np.maximum(self._cons_grp, 0)]
+                    if rstar_bcm_t.size
+                    else np.int64(0),
+                    r_cons_base,
+                )
+                dq = np.zeros(self.n, dtype=np.int64)
+                np.add.at(dq, self._flow_dst, r_sent - r_cons_t)
+                phase_q.append(rec["queue2"][j])
+                phase_dq.append(dq)
         if k <= 0:
             self._cooldown = 4 * self._p_max
             return
@@ -436,6 +472,8 @@ class LeapCycleSimulator(FastCycleSimulator):
             r_moved=r_moved,
             phase_chd=np.stack(rec["chd"], axis=1) if rec["chd"] else
             np.zeros((self._C, P), dtype=np.int64),
+            phase_q=np.stack(phase_q) if phase_q else None,
+            phase_dq=np.stack(phase_dq) if phase_dq else None,
         )
 
     # -------------------------------------------------------------- leaping
@@ -457,6 +495,10 @@ class LeapCycleSimulator(FastCycleSimulator):
         if k < 1:
             self._cooldown = 4 * self._p_max
             return 0, None
+        if self.telemetry is not None:
+            # reconstruct in-leap samples while the state is still the
+            # pre-leap base the reconstruction extrapolates from
+            self.telemetry.on_leap(self, cycle, st, k)
         self._flat += k * st.r_flat
         self.sent += k * st.r_sent
         self._ch_cum += k * st.r_chcum
@@ -508,6 +550,9 @@ class LeapCycleSimulator(FastCycleSimulator):
         completion = [0] * T
         done = self._done_mask()
         cycle = 0
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_run_start(self)
         self._reset_detector()
         while not done.all():
             leapt, _ = self._take_leap(cycle, max_cycles)
@@ -518,6 +563,8 @@ class LeapCycleSimulator(FastCycleSimulator):
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
+            if tel is not None:
+                tel.on_cycle(self, cycle, moved)
             now = self._done_mask()
             # record completions before any idle fast-forward: a tree whose
             # last flit lands on the very cycle the pipeline goes idle must
@@ -531,8 +578,20 @@ class LeapCycleSimulator(FastCycleSimulator):
                 if not now.all():
                     pending = [i for i in range(T) if not now[i]]
                     if pending:
-                        cycle = self._stall_or_skip(cycle, max_cycles, pending)
+                        try:
+                            skip_to = self._stall_or_skip(
+                                cycle, max_cycles, pending
+                            )
+                        except SimulationStalled:
+                            if tel is not None:
+                                tel.on_run_end(self, cycle, False)
+                            raise
+                        if tel is not None and skip_to > cycle:
+                            tel.on_idle(self, cycle, skip_to)
+                        cycle = skip_to
         total_cycles = max(completion) if completion else 0
+        if tel is not None:
+            tel.on_run_end(self, total_cycles, True)
         loads = [int(c) for c in self._ch_cum if c > 0]
         denom = total_cycles * self.capacity
         return CycleStats(

@@ -154,6 +154,7 @@ def run_with_recovery(
     buffer_size: Optional[int] = None,
     max_cycles: Optional[int] = None,
     max_episodes: int = 8,
+    telemetry=None,
 ) -> RecoveryResult:
     """Run an ``m``-element Allreduce under ``faults``, re-planning
     mid-flight whenever a failure permanently severs progress.
@@ -169,6 +170,12 @@ def run_with_recovery(
     scheduled) never trigger a re-plan — the engines idle-wait through
     them — so a schedule of pure transients completes on the original
     plan with ``episodes == ()``.
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.Collector`: every
+    leg emits its own ``leg``/``sample``/``counters`` records (sample
+    ``abs`` cycles stay monotone across legs via the collector's offset),
+    every re-plan emits an ``episode`` record, and the stream is
+    finalized whether the collective completes or recovery gives up.
     """
     from repro.core.bandwidth import optimal_partition
     from repro.core.faults import affected_trees
@@ -191,6 +198,8 @@ def run_with_recovery(
     offset = 0  # absolute cycles consumed by previous legs
 
     while True:
+        if telemetry is not None:
+            telemetry.offset = offset
         sim = make_engine(
             engine,
             cur_plan.topology,
@@ -199,13 +208,14 @@ def run_with_recovery(
             link_capacity,
             buffer_size,
             faults=cur_faults,
+            telemetry=telemetry,
         )
         leg_budget = None if max_cycles is None else max_cycles - offset
         if leg_budget is not None and leg_budget <= 0:
             raise RuntimeError(f"simulation exceeded {max_cycles} cycles")
         try:
             stats = sim.run(leg_budget)
-            return RecoveryResult(
+            result = RecoveryResult(
                 stats=stats,
                 episodes=tuple(episodes),
                 total_cycles=offset + stats.cycles,
@@ -213,17 +223,24 @@ def run_with_recovery(
                 final_num_trees=cur_plan.num_trees,
                 final_scheme=cur_plan.scheme,
             )
+            if telemetry is not None:
+                telemetry.finish(result.total_cycles, completed=True)
+            return result
         except SimulationStalled as stall:
             if len(episodes) >= max_episodes:
+                if telemetry is not None:
+                    telemetry.finish(offset + stall.cycle, completed=False)
                 raise RecoveryError(
                     f"gave up after {max_episodes} recovery episodes"
                 ) from stall
-            if cur_faults is None:
-                raise  # genuine deadlock, not a fault — don't mask it
+            if cur_faults is None or not cur_faults.down_edges_at(stall.cycle):
+                # genuine deadlock (or stalled with every link up) — the
+                # stream still ends cleanly before the exception escapes
+                if telemetry is not None:
+                    telemetry.finish(offset + stall.cycle, completed=False)
+                raise
             detect = stall.cycle
             failed = tuple(sorted(cur_faults.down_edges_at(detect)))
-            if not failed:
-                raise  # stalled with every link up: engine-level deadlock
             fault_cycle = max(
                 ev.down for ev in cur_faults.events if ev.covers(detect)
             )
@@ -234,7 +251,12 @@ def run_with_recovery(
             dead_set = set(dead)
             survivors = [i for i in range(len(cur_m)) if i not in dead_set]
 
-            new_plan, used = _replan(cur_plan, failed, policy)
+            try:
+                new_plan, used = _replan(cur_plan, failed, policy)
+            except RecoveryError:
+                if telemetry is not None:
+                    telemetry.finish(offset + detect, completed=False)
+                raise
             if used == "repaired":
                 # survivors keep their order; replacements are appended in
                 # sorted(dead) order (repaired_plan's construction order)
@@ -268,6 +290,8 @@ def run_with_recovery(
                     ),
                 )
             )
+            if telemetry is not None:
+                telemetry.on_episode(episodes[-1])
             nxt = cur_faults.after(detect, drop_edges=failed)
             cur_faults = nxt if nxt else None
             cur_plan = new_plan

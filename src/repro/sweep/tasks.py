@@ -35,6 +35,7 @@ BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
     "scaling_row": "repro.analysis.scaling:scaling_row",
     "radix_points": "repro.analysis.radix_efficiency:radix_comparison",
     "recovery_row": "repro.analysis.recovery:recovery_row",
+    "telemetry_row": "repro.analysis.telemetry:telemetry_row",
     "fabric_config": "repro.sweep.tasks:fabric_config_json",
 }
 

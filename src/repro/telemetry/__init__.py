@@ -1,0 +1,39 @@
+"""Zero-overhead-when-off telemetry for the cycle-engine zoo.
+
+``Collector`` receives hook calls from whichever engine runs (reference,
+fast, leap — and across recovery legs), accumulating counters, sampled
+link/queue probes and recovery episodes; ``TelemetryWriter`` serializes
+the stream to a stable canonical-JSONL schema; ``read_telemetry`` /
+``loads_telemetry`` round-trip it back into numpy arrays.
+
+The load-bearing property, pinned by
+``tests/test_telemetry_differential.py``: for the same seeded run all
+three engines emit *byte-identical* JSONL — the leap engine reconstructs
+samples inside jumped regions from the verified steady-state period, so
+even observations taken "inside" a leap match the per-cycle engines
+exactly. See ``docs/API.md`` for the schema table.
+"""
+
+from repro.telemetry.collector import Collector, CounterSet, Probe
+from repro.telemetry.writer import (
+    SCHEMA_VERSION,
+    LegTelemetry,
+    TelemetryRun,
+    TelemetryWriter,
+    dumps_record,
+    loads_telemetry,
+    read_telemetry,
+)
+
+__all__ = [
+    "Collector",
+    "CounterSet",
+    "Probe",
+    "SCHEMA_VERSION",
+    "LegTelemetry",
+    "TelemetryRun",
+    "TelemetryWriter",
+    "dumps_record",
+    "loads_telemetry",
+    "read_telemetry",
+]

@@ -14,32 +14,52 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["StageTimer", "profile_pipeline", "render_profile"]
 
 
 class StageTimer:
-    """Accumulates named stage durations; usable as a context manager."""
+    """Accumulates named stage durations; usable as a context manager.
+
+    Durations are recorded internally at ``time.perf_counter_ns``
+    precision (``stages_ns``, integer nanoseconds — the form the
+    telemetry ``perf`` record serializes, so construction cost composes
+    exactly with simulation cost); ``stages``/``total``/``as_dict`` keep
+    the original float-seconds view.
+    """
 
     def __init__(self) -> None:
-        self.stages: List[Tuple[str, float]] = []
+        self.stages_ns: List[Tuple[str, int]] = []
 
     @contextmanager
     def stage(self, name: str):
-        t0 = time.perf_counter()
+        t0 = time.perf_counter_ns()
         try:
             yield
         finally:
-            self.stages.append((name, time.perf_counter() - t0))
+            self.stages_ns.append((name, time.perf_counter_ns() - t0))
+
+    @property
+    def stages(self) -> List[Tuple[str, float]]:
+        """Stage durations in seconds (compatibility view)."""
+        return [(name, ns / 1e9) for name, ns in self.stages_ns]
 
     def total(self) -> float:
-        return sum(d for _, d in self.stages)
+        return self.total_ns() / 1e9
+
+    def total_ns(self) -> int:
+        return sum(ns for _, ns in self.stages_ns)
 
     def as_dict(self) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for name, d in self.stages:
-            out[name] = out.get(name, 0.0) + d
+        return {name: ns / 1e9 for name, ns in self.as_dict_ns().items()}
+
+    def as_dict_ns(self) -> Dict[str, int]:
+        """Per-stage totals in integer nanoseconds (repeated stage names
+        accumulate) — what ``Collector.set_construction`` stores."""
+        out: Dict[str, int] = {}
+        for name, ns in self.stages_ns:
+            out[name] = out.get(name, 0) + ns
         return out
 
 
