@@ -46,7 +46,18 @@ from repro.analysis.radix_efficiency import (
     radix_comparison,
     render_radix_comparison,
 )
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    fault_monte_carlo,
+    render_monte_carlo,
+)
 from repro.analysis.report import full_report, report_cells
+from repro.analysis.simgrid import (
+    sim_grid_cells,
+    sim_point,
+    sim_point_batch,
+    sim_point_group_key,
+)
 from repro.analysis.scaling import ScalingRow, render_scaling, scaling_row, scaling_sweep
 from repro.analysis.table1 import (
     Table1Row,
@@ -106,6 +117,13 @@ __all__ = [
     "render_figure5",
     "full_report",
     "report_cells",
+    "sim_point",
+    "sim_point_batch",
+    "sim_point_group_key",
+    "sim_grid_cells",
+    "MonteCarloResult",
+    "fault_monte_carlo",
+    "render_monte_carlo",
     "plan_metrics",
     "scaling_row",
     "table1_row",

@@ -45,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("low-depth", "edge-disjoint", "single"))
     s.add_argument("-m", type=int, default=600, help="total flits")
     s.add_argument("--engine", default="leap",
-                   choices=("reference", "fast", "leap"),
+                   choices=("reference", "fast", "leap", "batched"),
                    help="cycle engine (leap: O(events) wall clock, "
                         "cycle-exact; default)")
     s.add_argument("--buffer", type=int, default=None, metavar="SLOTS",
@@ -81,6 +81,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-flow credit buffer slots (default: unbounded)")
     s.add_argument("--capacity", type=int, default=1,
                    help="link capacity in flits/cycle")
+
+    s = sub.add_parser(
+        "montecarlo",
+        help="fault Monte Carlo: k random failure schedules in one batch",
+        description="Sample k random link-failure schedules over the plan's "
+        "tree-carrying links and run them as lanes of the batched tensor "
+        "engine (bit-identical per lane to serial fast-engine runs); prints "
+        "the fault-free baseline, stall rate and completion-slowdown "
+        "quantiles.",
+    )
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("-m", type=int, default=8, help="flits per tree (default 8)")
+    s.add_argument("-k", "--trials", type=int, default=1000,
+                   help="ensemble size (default 1000)")
+    s.add_argument("--seed", type=int, default=0, help="rng seed (default 0)")
+    s.add_argument("--num-faults", type=int, default=1,
+                   help="distinct links failing per sample (default 1)")
+    s.add_argument("--transient-fraction", type=float, default=0.5,
+                   help="probability a failure revives (default 0.5)")
+    s.add_argument("--engine", default="batched",
+                   choices=("batched", "fast"),
+                   help="evaluator; per-lane results are identical either way")
+    s.add_argument("--chunk", type=int, default=512,
+                   help="lanes per batched invocation (default 512)")
 
     s = sub.add_parser(
         "telemetry",
@@ -259,6 +285,24 @@ def _cmd_faults(args) -> int:
           f"{res.bandwidth_after:.3f} flits/cycle"
           + (f"  recovery took {res.recovery_cycles} cycles"
              if res.episodes else ""))
+    return 0
+
+
+def _cmd_montecarlo(args) -> int:
+    from repro.analysis.montecarlo import fault_monte_carlo
+
+    result = fault_monte_carlo(
+        args.q,
+        scheme=args.scheme,
+        m=args.m,
+        k=args.trials,
+        seed=args.seed,
+        num_faults=args.num_faults,
+        transient_fraction=args.transient_fraction,
+        engine=args.engine,
+        chunk=args.chunk,
+    )
+    print(result.render())
     return 0
 
 
@@ -443,6 +487,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "faults": _cmd_faults,
+    "montecarlo": _cmd_montecarlo,
     "telemetry": _cmd_telemetry,
     "report": _cmd_report,
     "sweep": _cmd_sweep,

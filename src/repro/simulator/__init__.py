@@ -36,6 +36,7 @@ from repro.simulator.cycle import (
     SimulationStalled,
     simulate_allreduce,
 )
+from repro.simulator.batched import BatchedCycleSimulator, LaneOutcome, LaneSpec
 from repro.simulator.engine import ENGINES, CycleEngine, make_engine
 from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.faultsched import FaultEvent, FaultSchedule
@@ -86,6 +87,9 @@ __all__ = [
     "make_engine",
     "FastCycleSimulator",
     "LeapCycleSimulator",
+    "BatchedCycleSimulator",
+    "LaneSpec",
+    "LaneOutcome",
     "FluidResult",
     "fluid_simulate",
     "REDUCE_OPS",

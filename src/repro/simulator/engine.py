@@ -12,7 +12,13 @@ Allreduce simulation exist:
 - ``"leap"`` — :class:`repro.simulator.leap.LeapCycleSimulator`, the
   cycle-leaping engine: detects the steady-state period of the pipeline,
   verifies it exactly, and jumps whole multiples of it in closed form, so
-  ``run()`` wall-clock is O(depth + #events) instead of O(cycles).
+  ``run()`` wall-clock is O(depth + #events) instead of O(cycles);
+- ``"batched"`` — :class:`repro.simulator.batched.BatchedCycleSimulator`,
+  the batch engine: B independent runs over a shared topology/plan in one
+  ``(B, 4, T, n)`` state tensor, each lane bit-identical to ``"fast"``.
+  As a :class:`CycleEngine` it is a single-lane batch; real batches go
+  through ``lanes=[LaneSpec(...), ...]`` + ``run_batch``.  Telemetry is
+  unsupported in v1 (raises ``ValueError``).
 
 All satisfy :class:`CycleEngine` and are **cycle-exact** equivalents:
 identical per-channel per-cycle flit counts, per-tree completion cycles
@@ -35,6 +41,7 @@ except ImportError:  # pragma: no cover
     def runtime_checkable(cls):  # type: ignore[misc]
         return cls
 
+from repro.simulator.batched import BatchedCycleSimulator
 from repro.simulator.cycle import CycleSimulator, CycleStats
 from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.faultsched import FaultSchedule
@@ -110,6 +117,7 @@ ENGINES = {
     "reference": CycleSimulator,
     "fast": FastCycleSimulator,
     "leap": LeapCycleSimulator,
+    "batched": BatchedCycleSimulator,
 }
 
 
@@ -123,9 +131,10 @@ def make_engine(
     faults: Optional[FaultSchedule] = None,
     telemetry=None,
 ) -> "CycleEngine":
-    """Instantiate the named cycle engine (``"reference"``, ``"fast"`` or
-    ``"leap"``), optionally bound to a dynamic fault schedule and/or a
-    :class:`~repro.telemetry.Collector`."""
+    """Instantiate the named cycle engine (``"reference"``, ``"fast"``,
+    ``"leap"`` or ``"batched"``), optionally bound to a dynamic fault
+    schedule and/or a :class:`~repro.telemetry.Collector` (the batched
+    engine rejects telemetry)."""
     try:
         cls = ENGINES[engine]
     except KeyError:

@@ -6,11 +6,16 @@ SweepSpec` with a ``concurrent.futures`` process pool and an optional
 
 1. every cell is first probed against the cache in the parent process
    (so a warm run never pays pool startup for work it will not do);
-2. the misses fan out over the pool — or run inline when ``workers <= 1``
-   or only one cell missed;
-3. results are merged back **by cell index**, making parallel output
-   bit-identical to a serial run regardless of completion order, and
-   written to the cache by the parent.
+2. misses whose task has a registered batcher
+   (:mod:`repro.sweep.batching`) are grouped by compatibility key and
+   evaluated inline as single batched-engine calls — the batch *is* the
+   parallelism — with results guaranteed bit-identical to the serial
+   path, so cache entries are byte-identical either way;
+3. the remaining misses fan out over the pool — or run inline when
+   ``workers <= 1`` or only one cell missed;
+4. results are merged back **by cell index**, making parallel and
+   batched output bit-identical to a serial run regardless of completion
+   order, and written to the cache by the parent.
 
 Summaries (:class:`SweepSummary`) expose hit/miss/corrupt counters, wall
 time and summed per-cell compute time, both per ``run()`` call
@@ -70,6 +75,7 @@ class SweepSummary:
     compute_s: float = 0.0
     workers: int = 0
     cache_dir: Optional[str] = None
+    batched: int = 0  # cells computed via grouped batched-engine calls
 
     def __add__(self, other: "SweepSummary") -> "SweepSummary":
         return SweepSummary(
@@ -81,6 +87,7 @@ class SweepSummary:
             compute_s=self.compute_s + other.compute_s,
             workers=max(self.workers, other.workers),
             cache_dir=self.cache_dir or other.cache_dir,
+            batched=self.batched + other.batched,
         )
 
     def render(self) -> str:
@@ -89,6 +96,8 @@ class SweepSummary:
             f"sweep: {self.cells} cells, {self.hits} cache hits, "
             f"{self.misses} computed"
         )
+        if self.batched:
+            line += f" ({self.batched} via batched lanes)"
         if self.corrupt:
             line += f" ({self.corrupt} corrupt entries recomputed)"
         line += (
@@ -124,6 +133,11 @@ class SweepRunner:
         runner's memory stays bounded by the largest single batch, not by
         every radix ever visited. On by default; pass ``False`` to keep
         topologies warm across batches.
+    batching:
+        Route compatible cache misses through grouped batched-engine
+        calls (:mod:`repro.sweep.batching`). On by default — the routes
+        are bit-identical, so this is purely a speed knob; pass ``False``
+        to force every miss down the serial/pool path.
     """
 
     def __init__(
@@ -131,6 +145,7 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache: Union[None, str, os.PathLike, SweepCache] = None,
         release_caches: bool = True,
+        batching: bool = True,
     ):
         self.workers = resolve_workers(workers)
         if cache is None or isinstance(cache, SweepCache):
@@ -138,6 +153,7 @@ class SweepRunner:
         else:
             self.cache = SweepCache(cache)
         self.release_caches = release_caches
+        self.batching = batching
         self.last_summary = SweepSummary()
         self.total = SweepSummary()
 
@@ -162,6 +178,21 @@ class SweepRunner:
             missing.append((i, c))
 
         compute_s = 0.0
+        n_missed = len(missing)
+        batched_cells = 0
+        if missing and self.batching:
+            from repro.sweep.batching import plan_groups
+
+            groups, missing = plan_groups(missing)
+            for batcher, members in groups:
+                t1 = time.perf_counter()
+                values = batcher.run_group([c.kwargs for _, c in members])
+                compute_s += time.perf_counter() - t1
+                for (i, c), value in zip(members, values):
+                    results[i] = value
+                    if self.cache is not None:
+                        self.cache.put(c, value)
+                batched_cells += len(members)
         if missing:
             if self.workers > 1 and len(missing) > 1:
                 pool_size = min(self.workers, len(missing))
@@ -182,6 +213,7 @@ class SweepRunner:
                     compute_s += dt
                     if self.cache is not None:
                         self.cache.put(c, value)
+        if n_missed:
             if self.release_caches:
                 # Computing cells may have populated the process-wide
                 # topology memos (directly in the serial path, or in the
@@ -195,12 +227,13 @@ class SweepRunner:
         self.last_summary = SweepSummary(
             cells=len(cells),
             hits=hits,
-            misses=len(missing),
+            misses=n_missed,
             corrupt=(self.cache.corrupt - corrupt0) if self.cache else 0,
             wall_s=time.perf_counter() - t0,
             compute_s=compute_s,
             workers=self.workers,
             cache_dir=str(self.cache.root) if self.cache else None,
+            batched=batched_cells,
         )
         self.total = self.total + self.last_summary
         return results

@@ -37,6 +37,7 @@ BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
     "recovery_row": "repro.analysis.recovery:recovery_row",
     "telemetry_row": "repro.analysis.telemetry:telemetry_row",
     "fabric_config": "repro.sweep.tasks:fabric_config_json",
+    "sim_point": "repro.analysis.simgrid:sim_point",
 }
 
 

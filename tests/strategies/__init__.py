@@ -14,7 +14,11 @@ inline across ``tests/test_differential.py``,
   — small named topologies plus seeded random spanning-tree embeddings
   for cross-cutting invariants;
 - :data:`CYCLE_ENGINES` / :func:`cycle_engines` — every registered cycle
-  engine, for differential suites that must cover all of them.
+  engine, for differential suites that must cover all of them
+  (:data:`TELEMETRY_ENGINES` is the subset accepting collectors — the
+  batched engine rejects telemetry in v1);
+- :func:`batch_specs` / :func:`materialize_lanes` — random heterogeneous
+  lane batches for the batched engine's differential suite.
 
 Everything is deterministic: strategies only emit seeds or seeded
 generators, never global-randomness draws, so failing examples shrink and
@@ -50,15 +54,22 @@ __all__ = [
     "topology_names",
     "random_embedding",
     "CYCLE_ENGINES",
+    "TELEMETRY_ENGINES",
     "cycle_engines",
     "fault_specs",
     "materialize_faults",
     "plan_used_links",
+    "batch_specs",
+    "materialize_lanes",
 ]
 
 #: every registered cycle-engine name, reference first (kept in sync with
 #: repro.simulator.engine.ENGINES by tests/test_leap.py)
-CYCLE_ENGINES = ("reference", "fast", "leap")
+CYCLE_ENGINES = ("reference", "fast", "leap", "batched")
+
+#: the engines that accept a telemetry Collector — the batched engine
+#: raises ValueError on telemetry (v1), so collector differentials skip it
+TELEMETRY_ENGINES = ("reference", "fast", "leap")
 
 
 def cycle_engines(subset=None):
@@ -219,3 +230,52 @@ def materialize_faults(plan, spec):
         seen.add(edge)
         events.append((edge, down, None if dur is None else down + dur))
     return FaultSchedule(events)
+
+
+# ------------------------------------------------------------ lane batches
+
+def batch_specs(max_lanes: int = 8, max_m: int = 12, max_capacity: int = 3,
+                max_buffer: int = 4, with_faults: bool = True):
+    """Strategy over abstract batched-engine lane batches.
+
+    Each batch is a non-empty tuple of per-lane specs
+    ``(m, link_capacity, buffer_size-or-None, fault_spec-or-None)`` —
+    heterogeneous message sizes, capacities and credit buffers, with an
+    optional abstract fault spec per lane (see :func:`fault_specs`).
+    Everything is plan-independent; :func:`materialize_lanes` binds a
+    batch to a concrete plan as ``LaneSpec`` objects.
+    """
+    fault = (
+        st.one_of(st.none(), fault_specs(max_events=2, max_down=20))
+        if with_faults
+        else st.none()
+    )
+    lane = st.tuples(
+        st.integers(min_value=0, max_value=max_m),
+        st.integers(min_value=1, max_value=max_capacity),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=max_buffer)),
+        fault,
+    )
+    return st.lists(lane, min_size=1, max_size=max_lanes).map(tuple)
+
+
+def materialize_lanes(plan, batch):
+    """Bind an abstract batch spec to a plan: a list of concrete
+    ``LaneSpec`` objects (uniform per-tree split of each lane's ``m``)."""
+    from repro.simulator import LaneSpec
+
+    lanes = []
+    for m, capacity, buffer_size, fault_spec in batch:
+        lanes.append(
+            LaneSpec(
+                (m,) * plan.num_trees,
+                link_capacity=capacity,
+                buffer_size=buffer_size,
+                faults=(
+                    materialize_faults(plan, fault_spec)
+                    if fault_spec is not None
+                    else None
+                ),
+            )
+        )
+    return lanes

@@ -1,0 +1,260 @@
+"""Batch-differential layer: every batched lane bit-identical to ``fast``.
+
+The batched engine's entire value rests on one claim: lane ``i`` of a
+``run_batch`` over heterogeneous :class:`LaneSpec` s produces *exactly*
+what a serial ``engine="fast"`` run with lane ``i``'s knobs would have —
+the same :class:`CycleStats` down to float utilization (pickle-byte
+equality), the same :class:`SimulationStalled` cycle and pending set on
+the faulted lanes only, the same cycle-guard ``RuntimeError``.  This
+module is that claim as a test suite, deterministic grids first (q=7,
+real PolarFly radix) and a hypothesis sweep over random heterogeneous
+batches after.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro.simulator import (
+    BatchedCycleSimulator,
+    LaneSpec,
+    SimulationStalled,
+    make_engine,
+    simulate_allreduce,
+    trace_allreduce,
+)
+from repro.simulator.engine import ENGINES
+
+from tests.strategies import (
+    batch_specs,
+    get_plan,
+    materialize_faults,
+    materialize_lanes,
+    plan_keys,
+)
+
+Q = 7
+
+
+def _plan():
+    return get_plan(Q, "low-depth")
+
+
+def _serial_outcome(plan, lane: LaneSpec):
+    """What engine="fast" does with this lane's knobs, as a comparable."""
+    try:
+        stats = make_engine(
+            "fast",
+            plan.topology,
+            plan.trees,
+            lane.flits_per_tree,
+            lane.link_capacity,
+            lane.buffer_size,
+            faults=lane.faults,
+        ).run()
+        return ("done", stats)
+    except SimulationStalled as e:
+        return ("stalled", e.cycle, tuple(e.pending))
+    except RuntimeError as e:
+        return ("exceeded", str(e))
+
+
+def _batched_outcome(out):
+    if out.status == "done":
+        return ("done", out.stats)
+    if out.status == "stalled":
+        return ("stalled", out.stall_cycle, out.stall_pending)
+    return ("exceeded", out.error)
+
+
+def _assert_lanes_match(plan, lanes):
+    outs = BatchedCycleSimulator(plan.topology, plan.trees, lanes=lanes).run_batch()
+    for i, (lane, out) in enumerate(zip(lanes, outs)):
+        assert out.index == i
+        got = _batched_outcome(out)
+        want = _serial_outcome(plan, lane)
+        assert got == want, (i, lane, got, want)
+        if got[0] == "done":
+            # equality is not enough for cache byte-identity: the pickled
+            # stats (types included) must match the serial engine's
+            assert pickle.dumps(got[1]) == pickle.dumps(want[1]), i
+
+
+# --------------------------------------------------- deterministic q=7 grids
+
+
+class TestLaneGrids:
+    def test_message_size_and_buffer_grid(self):
+        plan = _plan()
+        T = plan.num_trees
+        lanes = [
+            LaneSpec((m,) * T, buffer_size=b)
+            for m in (0, 1, 2, 5, 16)
+            for b in (None, 1, 2, 4)
+        ]
+        _assert_lanes_match(plan, lanes)
+
+    def test_capacity_grid_forces_general_arbitration(self):
+        # one capacity>1 lane pushes the whole batch onto the
+        # water-filling path; results must still match per lane
+        plan = _plan()
+        T = plan.num_trees
+        lanes = [
+            LaneSpec((m,) * T, link_capacity=c, buffer_size=b)
+            for m in (3, 8)
+            for c in (1, 2, 3)
+            for b in (None, 2)
+        ]
+        _assert_lanes_match(plan, lanes)
+
+    def test_heterogeneous_per_tree_splits(self):
+        plan = _plan()
+        T = plan.num_trees
+        lanes = [
+            LaneSpec(tuple((i + j) % 5 for j in range(T)))
+            for i in range(6)
+        ]
+        _assert_lanes_match(plan, lanes)
+
+    def test_faulted_lane_stalls_alone_rest_complete(self):
+        # a permanent fault severs exactly one lane: it must stall at the
+        # identical cycle/pending set as serial, while every co-batched
+        # clean lane completes with identical stats
+        plan = _plan()
+        T = plan.num_trees
+        lanes = [
+            LaneSpec((6,) * T),
+            LaneSpec((6,) * T, faults=materialize_faults(plan, ((3, 5, None),))),
+            LaneSpec((6,) * T),
+        ]
+        outs = BatchedCycleSimulator(
+            plan.topology, plan.trees, lanes=lanes
+        ).run_batch()
+        assert outs[0].status == outs[2].status == "done"
+        assert outs[1].status == "stalled"
+        _assert_lanes_match(plan, lanes)
+
+    def test_transient_and_permanent_fault_mix(self):
+        plan = _plan()
+        T = plan.num_trees
+        specs = [
+            ((0, 2, 6),),  # link rank 0 down cycles 2..8
+            ((1, 1, None),),  # permanent
+            ((2, 4, 3), (7, 2, 10)),  # two windows
+            None,
+        ]
+        lanes = [
+            LaneSpec((7,) * T, faults=(
+                materialize_faults(plan, s) if s else None
+            ))
+            for s in specs
+        ]
+        _assert_lanes_match(plan, lanes)
+
+    def test_guard_exceeded_message_parity(self):
+        plan = _plan()
+        T = plan.num_trees
+        lanes = [LaneSpec((9,) * T), LaneSpec((2,) * T)]
+        outs = BatchedCycleSimulator(
+            plan.topology, plan.trees, lanes=lanes
+        ).run_batch(max_cycles=5)
+        for lane, out in zip(lanes, outs):
+            try:
+                make_engine(
+                    "fast", plan.topology, plan.trees, lane.flits_per_tree
+                ).run(max_cycles=5)
+                want = None
+            except RuntimeError as e:
+                want = str(e)
+            assert out.error == want
+
+
+# ------------------------------------------------------ hypothesis batches
+
+
+@given(key=plan_keys(), batch=batch_specs(max_lanes=6))
+@settings(max_examples=20, deadline=None)
+def test_random_heterogeneous_batches_match_fast(key, batch):
+    plan = get_plan(*key)
+    _assert_lanes_match(plan, materialize_lanes(plan, batch))
+
+
+# ------------------------------------------------- protocol surface (B=1)
+
+
+class TestSingleLaneProtocol:
+    def test_registered_in_engine_zoo(self):
+        assert ENGINES["batched"] is BatchedCycleSimulator
+        assert BatchedCycleSimulator.engine_name == "batched"
+
+    def test_simulate_allreduce_roundtrip(self):
+        plan = _plan()
+        parts = plan.partition(40)
+        fast = simulate_allreduce(plan.topology, plan.trees, parts, engine="fast")
+        bat = simulate_allreduce(
+            plan.topology, plan.trees, parts, engine="batched"
+        )
+        assert bat == fast
+
+    def test_trace_parity_with_fast(self):
+        plan = _plan()
+        parts = plan.partition(12)
+        t_f = trace_allreduce(plan.topology, plan.trees, parts, engine="fast")
+        t_b = trace_allreduce(plan.topology, plan.trees, parts, engine="batched")
+        assert t_b.cycles == t_f.cycles
+        assert t_b.activity == t_f.activity
+
+    def test_midrun_probe_parity(self):
+        plan = _plan()
+        T = plan.num_trees
+        sf = make_engine("fast", plan.topology, plan.trees, (4,) * T,
+                         buffer_size=2)
+        sb = make_engine("batched", plan.topology, plan.trees, (4,) * T,
+                         buffer_size=2)
+        for cycle in range(10):
+            assert sf.step() == sb.step(), cycle
+            assert sf.queue_occupancy() == sb.queue_occupancy(), cycle
+            assert sf.phase_flit_totals() == sb.phase_flit_totals(), cycle
+            assert sf.delivered_floor() == sb.delivered_floor(), cycle
+            assert sf.reduced_at_root() == sb.reduced_at_root(), cycle
+            assert sf.channel_flit_counts() == sb.channel_flit_counts(), cycle
+            assert sf.has_in_flight() == sb.has_in_flight(), cycle
+            assert sf.done() == sb.done(), cycle
+
+    def test_telemetry_rejected_with_clear_error(self):
+        plan = _plan()
+        with pytest.raises(ValueError, match="does not support telemetry"):
+            make_engine(
+                "batched", plan.topology, plan.trees,
+                (1,) * plan.num_trees, telemetry=object(),
+            )
+
+    def test_run_refuses_multilane_batch(self):
+        plan = _plan()
+        T = plan.num_trees
+        sim = BatchedCycleSimulator(
+            plan.topology, plan.trees,
+            lanes=[LaneSpec((1,) * T), LaneSpec((2,) * T)],
+        )
+        with pytest.raises(ValueError, match="run_batch"):
+            sim.run()
+
+    def test_lane_validation(self):
+        plan = _plan()
+        T = plan.num_trees
+        with pytest.raises(ValueError, match="at least one lane"):
+            BatchedCycleSimulator(plan.topology, plan.trees, lanes=[])
+        with pytest.raises(ValueError, match="not both"):
+            BatchedCycleSimulator(
+                plan.topology, plan.trees, flits_per_tree=(1,) * T,
+                lanes=[LaneSpec((1,) * T)],
+            )
+        with pytest.raises(ValueError, match="align"):
+            BatchedCycleSimulator(
+                plan.topology, plan.trees, lanes=[LaneSpec((1,) * (T + 1))]
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            BatchedCycleSimulator(
+                plan.topology, plan.trees, lanes=[LaneSpec((-1,) * T)]
+            )

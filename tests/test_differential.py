@@ -1,6 +1,6 @@
-"""Differential testing: six independent execution engines must agree.
+"""Differential testing: seven independent execution engines must agree.
 
-The library has six ways to execute the same multi-tree Allreduce:
+The library has seven ways to execute the same multi-tree Allreduce:
 
 1. the functional executor (global buffers, level-order accumulation),
 2. the collectives API (reduce-scatter + broadcast phases),
@@ -10,7 +10,9 @@ The library has six ways to execute the same multi-tree Allreduce:
 5. the vectorized fast cycle engine (timing-only, but cycle-exact vs the
    reference flit simulator),
 6. the cycle-leaping engine (steady-state detection + O(events) jumps,
-   still cycle-exact).
+   still cycle-exact),
+7. the batched tensor engine (B runs in one state tensor; here driven as
+   a single-lane batch through the same ``CycleEngine`` protocol).
 
 They share no execution code beyond the tree structures, so exact
 agreement on random workloads is a strong whole-stack check: the packet
@@ -74,16 +76,16 @@ def test_six_engines_agree(key, m, seed, op):
     assert np.array_equal(c, want)
     assert np.array_equal(d, want)
 
-    # fifth and sixth executors: the fast and leap cycle engines must
-    # reproduce the timing of the run that produced the (verified)
-    # payloads above — full CycleStats (per-tree finish cycles included)
-    # must match the reference engine bit for bit
+    # fifth through seventh executors: the fast, leap and batched cycle
+    # engines must reproduce the timing of the run that produced the
+    # (verified) payloads above — full CycleStats (per-tree finish cycles
+    # included) must match the reference engine bit for bit
     rstats = simulate_allreduce(
         plan.topology, plan.trees, plan.partition(m), engine="reference"
     )
     assert rstats.cycles == pstats.cycles
     assert rstats.flits_moved == pstats.flits_moved
-    for engine in ("fast", "leap"):
+    for engine in ("fast", "leap", "batched"):
         estats = simulate_allreduce(
             plan.topology, plan.trees, plan.partition(m), engine=engine
         )
@@ -125,7 +127,7 @@ def test_cycle_engines_agree_under_transient_faults(key, m, spec):
     t_ref = trace_allreduce(
         plan.topology, plan.trees, parts, engine="reference", faults=faults
     )
-    for engine in ("fast", "leap"):
+    for engine in ("fast", "leap", "batched"):
         stats = simulate_allreduce(
             plan.topology, plan.trees, parts, engine=engine, faults=faults
         )

@@ -244,3 +244,59 @@ class TestFaultProperties:
         if key[1] == "edge-disjoint":
             assert per_link <= 1  # the scheme's defining property
         assert lost <= per_link * len(failed)
+
+
+# --------------------------------------------------------- fault Monte Carlo
+
+
+class TestFaultMonteCarlo:
+    """The batched ensemble entry point (repro.analysis.montecarlo)."""
+
+    def test_batched_ensemble_bit_identical_to_serial(self):
+        # the headline claim: a 1000-lane ensemble at q=7 routed through
+        # the batched engine reproduces the serial per-lane results
+        # exactly — every lane dict, the stall rate, every quantile
+        from repro.analysis import fault_monte_carlo
+
+        kw = dict(q=7, m=8, k=1000, seed=42, transient_fraction=0.5)
+        bat = fault_monte_carlo(engine="batched", **kw)
+        ser = fault_monte_carlo(engine="fast", **kw)
+        assert bat.lanes == ser.lanes
+        assert bat.stall_rate == ser.stall_rate
+        assert bat.slowdown_quantiles == ser.slowdown_quantiles
+        assert bat.mean_slowdown == ser.mean_slowdown
+        assert bat.clean_cycles == ser.clean_cycles
+
+    def test_deterministic_under_fixed_seed(self):
+        from repro.analysis import fault_monte_carlo
+
+        a = fault_monte_carlo(7, k=64, seed=7)
+        b = fault_monte_carlo(7, k=64, seed=7)
+        assert a == b
+        # chunking is an implementation detail, not part of the ensemble
+        c = fault_monte_carlo(7, k=64, seed=7, chunk=5)
+        assert c == a
+        assert fault_monte_carlo(7, k=64, seed=8) != a
+
+    def test_ensemble_statistics_are_consistent(self):
+        from repro.analysis import fault_monte_carlo
+
+        res = fault_monte_carlo(7, k=128, seed=1)
+        assert len(res.lanes) == 128
+        stalled = [l for l in res.lanes if l["stalled"]]
+        assert res.stall_rate == pytest.approx(len(stalled) / 128)
+        slows = sorted(l["slowdown"] for l in res.lanes if not l["stalled"])
+        assert slows, "seed 1 at q=7 must leave some lanes completing"
+        assert res.slowdown_quantiles["max"] == pytest.approx(slows[-1])
+        assert all(s >= 1.0 for s in slows)  # faults never speed a run up
+        assert res.render()  # human-readable summary renders
+
+    def test_input_validation(self):
+        from repro.analysis import fault_monte_carlo
+
+        with pytest.raises(ValueError, match="'batched' or 'fast'"):
+            fault_monte_carlo(7, k=4, engine="leap")
+        with pytest.raises(ValueError, match="k"):
+            fault_monte_carlo(7, k=0)
+        with pytest.raises(ValueError, match="num_faults"):
+            fault_monte_carlo(7, k=4, num_faults=0)

@@ -117,7 +117,7 @@ class TestLeaping:
                 outcomes[engine] = ("done", stats.cycles, sim.flits_moved)
             except RuntimeError as exc:
                 outcomes[engine] = ("raise", str(exc), sim.flits_moved)
-        assert outcomes["leap"] == outcomes["reference"] == outcomes["fast"]
+        assert len(set(outcomes.values())) == 1, outcomes
 
 
 # ------------------------------------------------------- compressed traces

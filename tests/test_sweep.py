@@ -193,6 +193,73 @@ class TestEngine:
         assert "1 computed" in summary.render()
 
 
+# ------------------------------------------------------------------ batching
+
+
+class TestBatching:
+    """Batched routing of compatible cells must be invisible in the cache."""
+
+    def _grid(self):
+        from repro.analysis import sim_grid_cells
+
+        return sim_grid_cells(7, ms=(1, 2, 5, 8), buffer_sizes=(None, 2, 4))
+
+    def test_batched_and_serial_routes_byte_identical_cache(self, tmp_path):
+        cells = self._grid()
+        serial_cache = SweepCache(tmp_path / "serial")
+        batched_cache = SweepCache(tmp_path / "batched")
+        serial = SweepRunner(workers=0, cache=serial_cache, batching=False)
+        batched = SweepRunner(workers=0, cache=batched_cache)
+        assert serial.run(cells) == batched.run(cells)
+        assert serial.last_summary.batched == 0
+        assert batched.last_summary.batched == len(cells)
+        # the cache promise: routing through run_batch may not change a
+        # byte of any entry, so both trees must be file-for-file equal
+        for c in cells:
+            assert (
+                batched_cache.path(c).read_bytes()
+                == serial_cache.path(c).read_bytes()
+            ), c.kwargs
+
+    def test_mixed_grid_warm_run_all_hits(self, tmp_path):
+        # batchable sim_point cells interleaved with unbatchable work:
+        # the cold run routes only the former through lanes, the warm run
+        # hits the cache for everything and batches nothing
+        cells = self._grid() + [cell("table1_row", q=3)]
+        cold = SweepRunner(workers=0, cache=tmp_path)
+        results = cold.run(cells)
+        assert cold.last_summary.misses == len(cells)
+        assert cold.last_summary.batched == len(cells) - 1
+        assert "via batched lanes" in cold.last_summary.render()
+        warm = SweepRunner(workers=0, cache=tmp_path)
+        assert warm.run(cells) == results
+        assert warm.last_summary.hits == len(cells)
+        assert warm.last_summary.batched == 0
+        assert "via batched lanes" not in warm.last_summary.render()
+
+    def test_single_member_group_demoted_to_serial(self, tmp_path):
+        # a batch of one is just serial with overhead; one sim_point cell
+        # must compute without run_batch and still round-trip the cache
+        cells = [cell("sim_point", q=5, m=3)]
+        runner = SweepRunner(workers=0, cache=tmp_path)
+        runner.run(cells)
+        assert runner.last_summary.misses == 1
+        assert runner.last_summary.batched == 0
+
+    def test_non_batchable_engine_stays_serial(self, tmp_path):
+        # engine="reference" cells share a task but have no group key
+        cells = [
+            cell("sim_point", q=5, m=m, engine="reference") for m in (2, 4)
+        ]
+        runner = SweepRunner(workers=0, cache=tmp_path)
+        ref = runner.run(cells)
+        assert runner.last_summary.batched == 0
+        fast = SweepRunner(workers=0, cache=None).run(
+            [cell("sim_point", q=5, m=m) for m in (2, 4)]
+        )
+        assert ref == fast  # engines agree; only the routing differs
+
+
 # ----------------------------------------------------------------- artifacts
 
 
