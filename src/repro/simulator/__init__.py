@@ -11,7 +11,10 @@ Three fidelities, all exercising the Section 4.3/4.4 dataflow:
   ``simulate_allreduce(..., engine="fast")``, and
   :mod:`repro.simulator.leap` the cycle-leaping engine
   (``engine="leap"``) whose ``run()`` is O(depth + #events) in wall
-  clock, independent of message size, while staying cycle-exact;
+  clock, independent of message size, while staying cycle-exact
+  (:mod:`repro.simulator.kernels` supplies optional fused/compiled
+  per-cycle stepping for the serial engines, selected by the engines'
+  ``kernel=`` knob; bit-identical on every observable);
 - :mod:`repro.simulator.fluid` — closed-form max-min rate model for large
   configurations.
 
@@ -42,6 +45,12 @@ from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.faultsched import FaultEvent, FaultSchedule
 from repro.simulator.fluid import FluidResult, fluid_simulate
 from repro.simulator.functional import REDUCE_OPS, execute_plan, reduce_on_tree, verify_plan
+from repro.simulator.kernels import (
+    HAVE_NUMBA,
+    KERNEL_CHOICES,
+    KERNEL_IMPL,
+    resolve_kernel,
+)
 from repro.simulator.leap import LeapCycleSimulator
 from repro.simulator.network import Network
 from repro.simulator.packet import PacketLevelSimulator, PacketStats, packet_allreduce
@@ -85,6 +94,10 @@ __all__ = [
     "CycleEngine",
     "ENGINES",
     "make_engine",
+    "HAVE_NUMBA",
+    "KERNEL_CHOICES",
+    "KERNEL_IMPL",
+    "resolve_kernel",
     "FastCycleSimulator",
     "LeapCycleSimulator",
     "BatchedCycleSimulator",

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.simulator.faultsched import FaultSchedule
+from repro.simulator.kernels import resolve_kernel as _resolve_kernel
 from repro.topology.graph import Graph, canonical_edge
 from repro.trees.tree import SpanningTree
 
@@ -62,6 +63,12 @@ __all__ = [
 REDUCE = "reduce"
 BROADCAST = "broadcast"
 FlowKind = str
+
+# consumer-spec modes (per-flow credit bookkeeping, hoisted in __init__)
+_CONS_MIN_SENT = 0  # min over the receiver's re-broadcast 'sent' counters
+_CONS_SENT = 1      # the receiver's own up-flow 'sent'
+_CONS_BCD = 2       # broadcast into a leaf: delivered-at-dst counter
+_CONS_CONST = 3     # root of a single-node tree: always m_i
 
 
 class SimulationStalled(RuntimeError):
@@ -138,7 +145,7 @@ class CycleStats:
 class _Flow:
     """One directed (tree, edge, phase) flit stream."""
 
-    __slots__ = ("tree", "kind", "src", "dst", "sent")
+    __slots__ = ("tree", "kind", "src", "dst", "sent", "cons")
 
     def __init__(self, tree: int, kind: FlowKind, src: int, dst: int):
         self.tree = tree
@@ -146,6 +153,7 @@ class _Flow:
         self.src = src
         self.dst = dst
         self.sent = 0  # flits already pushed into the channel
+        self.cons = None  # consumer spec (mode, payload), set by the simulator
 
 
 class CycleSimulator:
@@ -182,6 +190,7 @@ class CycleSimulator:
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
         telemetry=None,
+        kernel: str = "auto",
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
@@ -236,6 +245,30 @@ class CycleSimulator:
             self._rr[ch] = 0
         self._sent_snap: List[int] = [0] * len(self.flows)
 
+        # hoisted per-call structures for the hot budget helpers:
+        # per-(tree, node) children tuples (t.children builds a fresh
+        # tuple per call) and a per-flow consumer spec so _consumed /
+        # _consumed_now never rebuild dict lookups in the step loop
+        self._kids: List[List[Tuple[int, ...]]] = [
+            [t.children(v) for v in range(n)] for t in trees
+        ]
+        for fl in self.flows:
+            ti, dst = fl.tree, fl.dst
+            kids_bc = self._bc_flows_from.get((ti, dst), ())
+            if fl.kind == REDUCE:
+                if dst == trees[ti].root:
+                    fl.cons = (
+                        (_CONS_MIN_SENT, tuple(kids_bc))
+                        if kids_bc
+                        else (_CONS_CONST, self.m[ti])
+                    )
+                else:
+                    fl.cons = (_CONS_SENT, self._up_flow_of[(ti, dst)])
+            elif not kids_bc:  # broadcast into a leaf
+                fl.cons = (_CONS_BCD, dst)
+            else:
+                fl.cons = (_CONS_MIN_SENT, tuple(kids_bc))
+
         # In-flight flits land at the receiver at the next cycle boundary.
         self._landing: List[Tuple[int, int]] = []  # (flow id, count)
         self.flits_moved = 0
@@ -243,13 +276,36 @@ class CycleSimulator:
             ch: 0 for ch in self.channel_flows
         }
 
+        # per-cycle kernel (repro.simulator.kernels): anything but the
+        # Python path delegates stepping to an internal fast engine built
+        # from the same plan — bit-identical observables (differential-
+        # tested), so the reference engine's protocol surface gains the
+        # kernel speedup while this class keeps the mechanism-faithful
+        # loop as the kernel="python" path
+        self.kernel = kernel
+        self.kernel_impl = _resolve_kernel(kernel, telemetry)
+        if self.kernel_impl == "python":
+            self._kern = None
+        else:
+            from repro.simulator.fastcycle import FastCycleSimulator
+
+            self._kern = FastCycleSimulator(
+                g,
+                trees,
+                flits_per_tree,
+                link_capacity,
+                buffer_size,
+                faults,
+                telemetry=None,
+                kernel=kernel,
+            )
+
     # ------------------------------------------------------------ dynamics
 
     def _aggregated(self, ti: int, v: int) -> int:
         """Flits fully aggregated at node ``v`` for tree ``ti``: limited by
         the slowest child stream (own input is always resident)."""
-        t = self.trees[ti]
-        kids = t.children(v)
+        kids = self._kids[ti][v]
         if not kids:
             return self.m[ti]
         up = self.up_delivered[ti]
@@ -275,41 +331,31 @@ class CycleSimulator:
         the receiver forwarded the aggregated flit toward the root (the
         root consumes by pushing it into every broadcast stream); a
         broadcast flit is consumed once re-broadcast to all children
-        (leaves consume on delivery)."""
-        ti = flow.tree
-        dst = flow.dst
-        t = self.trees[ti]
-        if flow.kind == REDUCE:
-            if dst == t.root:
-                kids_bc = self._bc_flows_from.get((ti, dst), [])
-                return min(self._sent_snap[f] for f in kids_bc) if kids_bc else self.m[ti]
-            return self._sent_snap[self._up_flow_of[(ti, dst)]]
-        # broadcast flit at dst
-        kids_bc = self._bc_flows_from.get((ti, dst), [])
-        if not kids_bc:  # leaf: delivered to the host on arrival
-            return self.bc_delivered[ti][dst]
-        return min(self._sent_snap[f] for f in kids_bc)
+        (leaves consume on delivery). Dispatches on the per-flow consumer
+        spec hoisted in ``__init__``."""
+        mode, payload = flow.cons
+        if mode == _CONS_MIN_SENT:
+            snap = self._sent_snap
+            return min(snap[f] for f in payload)
+        if mode == _CONS_SENT:
+            return self._sent_snap[payload]
+        if mode == _CONS_BCD:
+            return self.bc_delivered[flow.tree][payload]
+        return payload  # _CONS_CONST: m_i
 
     def _consumed_now(self, flow: _Flow) -> int:
         """Like :meth:`_consumed` but against the *current* counters (not
         the start-of-cycle snapshot) — the post-step receiver-side view
         the telemetry queue probe samples."""
-        ti = flow.tree
-        dst = flow.dst
-        t = self.trees[ti]
-        if flow.kind == REDUCE:
-            if dst == t.root:
-                kids_bc = self._bc_flows_from.get((ti, dst), [])
-                return (
-                    min(self.flows[f].sent for f in kids_bc)
-                    if kids_bc
-                    else self.m[ti]
-                )
-            return self.flows[self._up_flow_of[(ti, dst)]].sent
-        kids_bc = self._bc_flows_from.get((ti, dst), [])
-        if not kids_bc:
-            return self.bc_delivered[ti][dst]
-        return min(self.flows[f].sent for f in kids_bc)
+        mode, payload = flow.cons
+        if mode == _CONS_MIN_SENT:
+            flows = self.flows
+            return min(flows[f].sent for f in payload)
+        if mode == _CONS_SENT:
+            return self.flows[payload].sent
+        if mode == _CONS_BCD:
+            return self.bc_delivered[flow.tree][payload]
+        return payload  # _CONS_CONST: m_i
 
     def _credit(self, fid: int) -> int:
         """Remaining credit slots for flow ``fid`` (inf when unbuffered)."""
@@ -333,9 +379,13 @@ class CycleSimulator:
 
     def tree_done(self, i: int) -> bool:
         """Tree ``i`` completed, counting only flits that have landed."""
+        if self._kern is not None:
+            return self._kern.tree_done(i)
         return self._tree_done(i)
 
     def done(self) -> bool:
+        if self._kern is not None:
+            return self._kern.done()
         return all(self._tree_done(i) for i in range(len(self.trees)))
 
     def channels(self) -> List[Tuple[int, int]]:
@@ -344,16 +394,22 @@ class CycleSimulator:
 
     def channel_flit_counts(self) -> List[int]:
         """Cumulative flits moved per channel, aligned with :meth:`channels`."""
+        if self._kern is not None:
+            return self._kern.channel_flit_counts()
         return [self.channel_flits[ch] for ch in self.channel_flows]
 
     def has_in_flight(self) -> bool:
         """Any flits granted last cycle but not yet landed?"""
+        if self._kern is not None:
+            return self._kern.has_in_flight()
         return bool(self._landing)
 
     def delivered_floor(self) -> List[int]:
         """Per-tree count of flits fully delivered to *every* node (landed
         broadcast floor) — the prefix of each sub-vector that is complete
         and need not be redone after a failure."""
+        if self._kern is not None:
+            return self._kern.delivered_floor()
         out = []
         for ti, t in enumerate(self.trees):
             if not t.parent:
@@ -366,6 +422,8 @@ class CycleSimulator:
     def reduced_at_root(self) -> List[int]:
         """Per-tree count of flits fully aggregated at the root; the gap to
         :meth:`delivered_floor` is pipeline work a recovery discards."""
+        if self._kern is not None:
+            return self._kern.reduced_at_root()
         return [
             min(self._aggregated(ti, t.root), self.m[ti])
             for ti, t in enumerate(self.trees)
@@ -376,6 +434,8 @@ class CycleSimulator:
         router (landed or in flight) minus flits its consumer stage has
         drained — the occupancy a credit buffer would hold. Identical
         across engines at every cycle (telemetry-differential-tested)."""
+        if self._kern is not None:
+            return self._kern.queue_occupancy()
         out = [0] * self.n
         for fl in self.flows:
             out[fl.dst] += fl.sent - self._consumed_now(fl)
@@ -383,6 +443,8 @@ class CycleSimulator:
 
     def phase_flit_totals(self) -> Tuple[List[int], List[int]]:
         """Cumulative (reduce, broadcast) flit-hops per tree."""
+        if self._kern is not None:
+            return self._kern.phase_flit_totals()
         red = [0] * len(self.trees)
         bc = [0] * len(self.trees)
         for fl in self.flows:
@@ -394,6 +456,11 @@ class CycleSimulator:
 
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
+        if self._kern is not None:
+            moved = self._kern.step()
+            self.cycle = self._kern.cycle
+            self.flits_moved = self._kern.flits_moved
+            return moved
         self.cycle += 1
         dead = (
             self.faults.down_edges_at(self.cycle)
@@ -454,6 +521,14 @@ class CycleSimulator:
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
         """Run to completion of all trees; raises :class:`SimulationStalled`
         on stall and ``RuntimeError`` when ``max_cycles`` is exceeded."""
+        if self._kern is not None:
+            try:
+                return self._kern.run(max_cycles)
+            finally:
+                # keep this facade's public counters observable after the
+                # delegated run, including on stall/guard exits
+                self.cycle = self._kern.cycle
+                self.flits_moved = self._kern.flits_moved
         if max_cycles is None:
             max_cycles = default_max_cycles(
                 self.trees, self.m, self.capacity, self.buffer_size, self.faults
@@ -516,6 +591,7 @@ def simulate_allreduce(
     engine: str = "reference",
     faults: Optional[FaultSchedule] = None,
     telemetry=None,
+    kernel: str = "auto",
 ) -> CycleStats:
     """One-shot cycle simulation with a selectable engine.
 
@@ -536,6 +612,14 @@ def simulate_allreduce(
     across engines) and finalizes the stream — including on a stall, so
     a severed run still yields a complete JSONL log before the exception
     propagates.
+
+    ``kernel`` selects the per-cycle stepping implementation
+    (:mod:`repro.simulator.kernels`): ``"auto"`` (default) takes the best
+    available fused kernel — numba when installed, the NumPy fallback
+    otherwise — except for telemetry runs, which always take the Python
+    path; ``"compiled"`` demands numba; ``"python"`` forces the original
+    per-stage step.  All paths are bit-identical (differential-tested),
+    so the choice only affects wall-clock time.
     """
     from repro.simulator.engine import make_engine
 
@@ -548,6 +632,7 @@ def simulate_allreduce(
         buffer_size,
         faults,
         telemetry=telemetry,
+        kernel=kernel,
     )
     try:
         stats = sim.run(max_cycles)

@@ -130,11 +130,23 @@ def make_engine(
     buffer_size: Optional[int] = None,
     faults: Optional[FaultSchedule] = None,
     telemetry=None,
+    kernel: str = "auto",
 ) -> "CycleEngine":
     """Instantiate the named cycle engine (``"reference"``, ``"fast"``,
     ``"leap"`` or ``"batched"``), optionally bound to a dynamic fault
     schedule and/or a :class:`~repro.telemetry.Collector` (the batched
-    engine rejects telemetry)."""
+    engine rejects telemetry).
+
+    ``kernel`` picks the per-cycle stepping implementation
+    (:mod:`repro.simulator.kernels`): ``"auto"`` (default) fuses the
+    serial hot path with the best available kernel — numba when the
+    ``compiled`` extra is installed, the NumPy fallback otherwise — and
+    transparently routes telemetry runs through the Python path;
+    ``"compiled"`` demands numba (``RuntimeError`` when absent);
+    ``"python"`` forces the original per-stage step.  Every path is
+    bit-identical (kernel-axis differential tests), so the knob only
+    affects wall-clock time.  The batched engine advances all lanes
+    tensor-wide already and accepts the knob for uniformity only."""
     try:
         cls = ENGINES[engine]
     except KeyError:
@@ -149,4 +161,5 @@ def make_engine(
         buffer_size,
         faults=faults,
         telemetry=telemetry,
+        kernel=kernel,
     )

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simulator import kernels as _kernels
 from repro.simulator.cycle import CycleStats, SimulationStalled, default_max_cycles
 from repro.simulator.faultsched import FaultSchedule
 from repro.topology.graph import Graph, canonical_edge
@@ -75,9 +76,14 @@ class FastCycleSimulator:
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
         telemetry=None,
+        kernel: str = "auto",
     ):
         if len(trees) != len(flits_per_tree):
             raise ValueError("flits_per_tree must align with trees")
+        # resolve the per-cycle kernel up front so bad combinations fail
+        # before any heavy construction (see repro.simulator.kernels)
+        self.kernel = kernel
+        self.kernel_impl = _kernels.resolve_kernel(kernel, telemetry)
         if link_capacity < 1:
             raise ValueError("link capacity must be >= 1 flit/cycle")
         if buffer_size is not None and buffer_size < 1:
@@ -279,6 +285,16 @@ class FastCycleSimulator:
         self.flits_moved = 0
         self._refresh_agg()
 
+        # fused-step kernel (numpy fallback or numba) — None on the
+        # Python path; the prep holds derived index arrays + scratch only,
+        # all dynamic state stays on the engine
+        if self.kernel_impl == "python":
+            self._kprep = None
+            self._kstep = None
+        else:
+            self._kprep = _kernels.KernelPrep(self)
+            self._kstep = _kernels.select_step(self.kernel_impl)
+
     # ------------------------------------------------------------ frontiers
 
     def _refresh_agg(self) -> None:
@@ -290,6 +306,11 @@ class FastCycleSimulator:
     def _done_mask(self) -> np.ndarray:
         if not self._T:
             return np.ones(0, dtype=bool)
+        if self._kprep is not None:
+            # kernel mode keeps per-tree landed totals; a tree is done
+            # exactly when every flow delivered its m_i (each is bounded
+            # by m_i, so the sum reaches the target iff all complete)
+            return self._kprep.done_cnt >= self._kprep.done_target
         agg_root = self._flat[self._agg_root_idx]
         bc_floor = self._state[_BCD].min(axis=1)
         return (agg_root >= self._m_arr) & (bc_floor >= self._m_arr)
@@ -310,6 +331,8 @@ class FastCycleSimulator:
 
     def step(self) -> int:
         """Advance one cycle; returns the number of flits transferred."""
+        if self._kstep is not None:
+            return self._kstep(self)
         self.cycle += 1
         if self.faults is not None:
             self._refresh_fault_mask()

@@ -1,0 +1,660 @@
+"""Compiled per-cycle kernels for the serial hot paths batching can't reach.
+
+The batched engine (PR 6) amortizes NumPy dispatch across B lanes, but
+three paths are inherently serial and still pay full per-cycle Python
+overhead: the reference engine's per-flit round-robin walk, the fast
+engine's budget-observe/advance step, and the leap engine's detection +
+verification stepping (which dominates faulted runs where leaps are
+barred between fault cycles).  This module provides one fused per-cycle
+step for all three, in two interchangeable implementations:
+
+- a **numba** ``@njit`` kernel (plain loops over the flat int arrays the
+  engines already precompute — land, streaming-aggregation mins, budget
+  evaluation, and the round-robin pointer walk in one nopython call),
+  compiled lazily on first use when :data:`HAVE_NUMBA` is true;
+- a **NumPy fallback** (one fused function instead of the engine's
+  three-stage Python step: arithmetic masking instead of ``np.where``,
+  unwrapped round-robin keys instead of per-cycle modulo, a transposed
+  padded scatter + K row-minima for the capacity-1 arbitration) selected
+  automatically when numba is absent, so ``numba`` stays an optional
+  dependency (the ``compiled`` extra in ``pyproject.toml``).
+
+Both are **bit-identical** to the engines' Python paths — same grants,
+same round-robin pointer trajectory, same :class:`CycleStats`, traces and
+stall cycles — enforced by the kernel axis of the differential suites
+(``tests/test_differential.py``, ``tests/test_fault_differential.py``,
+``tests/test_kernels.py``).
+
+Engines select a path through the ``kernel`` knob
+(:func:`resolve_kernel`): ``"python"`` forces the existing per-stage
+Python step, ``"compiled"`` demands numba (clean ``RuntimeError`` when
+absent), ``"auto"`` — the default — takes the best available kernel but
+**always routes telemetry-enabled runs through the Python path**, so the
+JSONL byte-identity guarantee of the telemetry layer (PR 5) is untouched.
+
+For the leap engine the kernel mode goes further than fusing the step:
+:class:`SteadyRings` records the exact per-cycle signatures, budget
+components and state snapshots into preallocated ring buffers *during
+detection*, so a steady-state candidate is confirmed entirely from the
+rings — the Python path's two extra verification periods of single
+stepping disappear.  The confirmation evidence and the licensed jump
+bound are computed by the exact same code (`LeapCycleSimulator's
+``_license_bounds``) in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "KERNEL_CHOICES",
+    "KERNEL_IMPL",
+    "resolve_kernel",
+    "KernelPrep",
+    "SteadyRings",
+    "step_numpy",
+    "step_numba",
+]
+
+# --------------------------------------------------------------- capability
+
+try:  # pragma: no cover - exercised only in environments with numba
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:
+    njit = None
+    HAVE_NUMBA = False
+
+#: the three user-facing values of the engines' ``kernel`` knob
+KERNEL_CHOICES = ("auto", "compiled", "python")
+
+#: what ``kernel="auto"`` resolves to when telemetry is off
+KERNEL_IMPL = "numba" if HAVE_NUMBA else "numpy"
+
+_BIG = 1 << 62  # padded-slot sentinel (empty arbitration slots)
+_DEAD = 1 << 40  # ineligible-flow key offset (still < _BIG, > any real key)
+
+
+def resolve_kernel(kernel: str = "auto", telemetry=None) -> str:
+    """Map the user-facing ``kernel`` knob to an execution path.
+
+    Returns ``"python"``, ``"numpy"`` or ``"numba"``.  ``"compiled"``
+    raises ``RuntimeError`` when numba is not installed (the capability
+    probe satellite) and ``ValueError`` when combined with telemetry —
+    telemetry runs must take the Python path so the JSONL stream stays
+    byte-identical across engines.
+    """
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
+        )
+    if kernel == "python":
+        return "python"
+    if kernel == "compiled":
+        # the telemetry conflict exists whether or not numba is around,
+        # so it is reported first
+        if telemetry is not None:
+            raise ValueError(
+                "kernel='compiled' cannot be combined with telemetry: "
+                "collector runs take the Python path to keep the JSONL "
+                "stream byte-identical; use kernel='auto'"
+            )
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "kernel='compiled' requires numba (pip install "
+                "'repro[compiled]'); use kernel='auto' for the NumPy "
+                "fallback or kernel='python' for the reference path"
+            )
+        return "numba"
+    # "auto": telemetry routes through the untouched Python path
+    if telemetry is not None:
+        return "python"
+    return KERNEL_IMPL
+
+
+# ---------------------------------------------------------------- prep state
+
+
+class KernelPrep:
+    """Per-engine precomputed arrays + scratch for the fused step.
+
+    Built once at engine ``__init__`` from a
+    :class:`~repro.simulator.fastcycle.FastCycleSimulator`'s flat
+    structures (the reference engine delegates to an internal fast
+    engine).  Holds only *derived* read-only index arrays and scratch —
+    the dynamic state (``_flat``, ``sent``, ``_rr``, ``_ch_cum``,
+    pending) stays on the engine, so every protocol method keeps working
+    unchanged in kernel mode.
+    """
+
+    def __init__(self, sim) -> None:
+        F = sim._F
+        C = sim._C
+        T = sim._T
+        self.F = F
+        self.C = C
+        # unwrapped round-robin keys: key = (slot + k*(slot < rr))*F + fid
+        # — strictly increasing in the cyclic offset (slot - rr) mod k, so
+        # the per-channel min picks the exact flow the pointer walk would,
+        # with no per-cycle modulo
+        self.key0 = sim._gr_slot * F + sim._gr_fid
+        self.wrap = sim._ch_k[sim._gr_ch] * F
+        self.gr_slot = sim._gr_slot
+        self.gr_ch = sim._gr_ch
+        self.gr_fid = sim._gr_fid
+        # transposed padded scatter target: row j holds slot-j keys of
+        # every channel (contiguous rows -> cheap K row-minima)
+        K = int(sim._ch_k.max()) if C else 1
+        self.K = K
+        self.padT = np.full((K, C), _BIG, dtype=np.int64)
+        self.padT_flat = self.padT.reshape(-1)
+        self.pad_idx = sim._gr_slot * C + sim._gr_ch
+        # grp_off closed with the sentinel end offset (branch-free loops)
+        CU = len(sim._child_up_idx)
+        self.grp_off_ext = np.append(sim._grp_off, CU).astype(np.int64)
+        # per-tree landed-flit targets: a tree is done exactly when every
+        # one of its flows has delivered m_i flits (each is bounded by
+        # m_i, so the per-tree landed total hits m_i * #flows iff all
+        # are complete) — turns the done check into one O(T) compare
+        flow_counts = (
+            np.bincount(sim._flow_tree, minlength=T).astype(np.int64)
+            if F
+            else np.zeros(T, dtype=np.int64)
+        )
+        self.done_target = sim._m_arr * flow_counts
+        self.done_cnt = np.zeros(T, dtype=np.int64)
+        # scratch buffers reused every cycle
+        self.budget = np.zeros(F, dtype=np.int64)
+        self.snap = np.zeros(F, dtype=np.int64)
+        self.out_fid = np.zeros(F, dtype=np.int64)
+        self.out_cnt = np.zeros(F, dtype=np.int64)
+        self.dead_u8 = np.zeros(F, dtype=np.uint8)
+        self._dead_src: Optional[np.ndarray] = None
+
+    def sync_done(self, sim) -> None:
+        """Rebuild the per-tree landed totals from the state tensor (after
+        a leap jumps the state without landing events).  Every flow has a
+        unique landing cell, so this is one weighted bincount."""
+        if self.F:
+            self.done_cnt = np.bincount(
+                sim._flow_tree,
+                weights=sim._flat[sim._land_idx].astype(np.float64),
+                minlength=len(self.done_cnt),
+            ).astype(np.int64)
+        else:
+            self.done_cnt[:] = 0
+
+    def dead_flags(self, dead_mask: Optional[np.ndarray]) -> np.ndarray:
+        """uint8 view of the engine's dead-flow mask (numba kernels take
+        uint8; rebuilt only when the fault segment changed)."""
+        if dead_mask is None:
+            if self._dead_src is not None:
+                self.dead_u8[:] = 0
+                self._dead_src = None
+        elif dead_mask is not self._dead_src:
+            np.copyto(self.dead_u8, dead_mask)
+            self._dead_src = dead_mask
+        return self.dead_u8
+
+
+# ------------------------------------------------------------- NumPy kernel
+
+
+def _land(sim, kp: KernelPrep) -> None:
+    pend = sim._pending_fids
+    if len(pend):
+        cnt = sim._pending_cnt
+        sim._flat[sim._land_idx[pend]] += cnt
+        np.add.at(kp.done_cnt, sim._flow_tree[pend], cnt)
+        sim._pending_fids = np.zeros(0, dtype=np.int64)
+
+
+def _budgets_numpy(sim) -> np.ndarray:
+    """Fused land-free part of the budget evaluation (availability, BCM
+    plane refresh and credits when buffered) — identical math to the
+    Python step's stage 2."""
+    avail = sim._flat[sim._avail_idx] - sim.sent
+    if sim.buffer_size is not None:
+        snap = sim.sent.copy()
+        sim._flat[sim._grp_bcm_idx] = np.minimum.reduceat(
+            snap[sim._child_bcfid], sim._grp_off
+        )
+        cons = np.where(
+            sim._cons_from_sent,
+            snap[sim._cons_sent_fid],
+            sim._flat[sim._cons_state_idx],
+        )
+        credit = sim.buffer_size - (snap - cons)
+        budget = np.minimum(avail, credit)
+    else:
+        budget = avail
+    if sim._dead_mask is not None:
+        budget = np.where(sim._dead_mask, 0, budget)
+    return budget
+
+
+def step_numpy(sim) -> int:
+    """Fused NumPy step: bit-identical to the engine's Python
+    ``step()``, with the capacity-1 arbitration rewritten on unwrapped
+    keys and arithmetic masks (the general-capacity path reuses the
+    engine's vectorized water-filling unchanged)."""
+    kp: KernelPrep = sim._kprep
+    sim.cycle += 1
+    if sim.faults is not None:
+        sim._refresh_fault_mask()
+    _land(sim, kp)
+    if kp.F == 0:
+        return 0
+    if len(sim._grp_off):
+        sim._flat[sim._grp_agg_idx] = np.minimum.reduceat(
+            sim._flat[sim._child_up_idx], sim._grp_off
+        )
+    budget = _budgets_numpy(sim)
+    if sim.capacity != 1:
+        return sim._arbitrate_general(budget)
+
+    # capacity-1 round robin, fused: unwrapped key per backlogged flow,
+    # transposed padded scatter, K row-minima, arithmetic rr update
+    F = kp.F
+    rrw = sim._rr[kp.gr_ch]
+    key = kp.key0 + kp.wrap * (kp.gr_slot < rrw)
+    key += _DEAD * (budget[kp.gr_fid] <= 0)
+    padT = kp.padT
+    flat_pad = kp.padT_flat
+    flat_pad.fill(_BIG)
+    flat_pad[kp.pad_idx] = key
+    best = padT[0]
+    if kp.K > 1:
+        best = np.minimum(padT[0], padT[1])
+        for j in range(2, kp.K):
+            np.minimum(best, padT[j], out=best)
+    active = best < _DEAD
+    moved = int(active.sum())
+    if not moved:
+        return 0
+    bw = best[active]
+    win = bw % F
+    u = bw // F
+    newrr = u + 1
+    k_act = sim._ch_k[active]
+    newrr -= k_act * (newrr >= k_act)
+    sim._rr[active] = newrr
+    sim.sent[win] += 1
+    sim._ch_cum += active
+    sim._pending_fids = win
+    sim._pending_cnt = np.ones(moved, dtype=np.int64)
+    sim.flits_moved += moved
+    return moved
+
+
+# ------------------------------------------------------------- numba kernel
+
+if HAVE_NUMBA:  # pragma: no cover - compiled path (CI: kernel-compiled job)
+
+    @njit(cache=True)
+    def _nb_advance(
+        flat,
+        sent,
+        rr,
+        ch_cum,
+        pend_fid,
+        pend_cnt,
+        n_pend,
+        land_idx,
+        flow_tree,
+        done_cnt,
+        grp_agg_idx,
+        grp_off_ext,
+        child_up_idx,
+        avail_idx,
+        buffered,
+        buffer_size,
+        grp_bcm_idx,
+        child_bcfid,
+        cons_from_sent,
+        cons_sent_fid,
+        cons_state_idx,
+        dead,
+        has_dead,
+        ch_off,
+        ch_k,
+        gr_fid,
+        capacity,
+        budget,
+        snap,
+        out_fid,
+        out_cnt,
+    ):
+        # 1. land last cycle's in-flight flits
+        for i in range(n_pend):
+            f = pend_fid[i]
+            c = pend_cnt[i]
+            flat[land_idx[f]] += c
+            done_cnt[flow_tree[f]] += c
+        F = sent.shape[0]
+        if F == 0:
+            return 0, 0
+        # streaming-aggregation mins
+        G = grp_agg_idx.shape[0]
+        for g in range(G):
+            lo = grp_off_ext[g]
+            hi = grp_off_ext[g + 1]
+            m = flat[child_up_idx[lo]]
+            for j in range(lo + 1, hi):
+                v = flat[child_up_idx[j]]
+                if v < m:
+                    m = v
+            flat[grp_agg_idx[g]] = m
+        # 2. per-flow budgets from the start-of-cycle snapshot
+        if buffered:
+            for f in range(F):
+                snap[f] = sent[f]
+            for g in range(G):
+                lo = grp_off_ext[g]
+                hi = grp_off_ext[g + 1]
+                m = snap[child_bcfid[lo]]
+                for j in range(lo + 1, hi):
+                    v = snap[child_bcfid[j]]
+                    if v < m:
+                        m = v
+                flat[grp_bcm_idx[g]] = m
+            for f in range(F):
+                avail = flat[avail_idx[f]] - sent[f]
+                if cons_from_sent[f]:
+                    cons = snap[cons_sent_fid[f]]
+                else:
+                    cons = flat[cons_state_idx[f]]
+                credit = buffer_size - (snap[f] - cons)
+                budget[f] = avail if avail < credit else credit
+        else:
+            for f in range(F):
+                budget[f] = flat[avail_idx[f]] - sent[f]
+        if has_dead:
+            for f in range(F):
+                if dead[f] != 0:
+                    budget[f] = 0
+        # 3. per-channel round-robin pointer walk (the reference loop)
+        C = ch_off.shape[0]
+        moved = 0
+        nw = 0
+        for c in range(C):
+            lo = ch_off[c]
+            k = ch_k[c]
+            if k == 0:
+                continue
+            slots = capacity
+            i = rr[c]
+            idle = 0
+            first_out = nw
+            granted = 0
+            while slots > 0 and idle < k:
+                f = gr_fid[lo + (i % k)]
+                if budget[f] > 0:
+                    budget[f] -= 1
+                    found = False
+                    for w in range(first_out, nw):
+                        if out_fid[w] == f:
+                            out_cnt[w] += 1
+                            found = True
+                            break
+                    if not found:
+                        out_fid[nw] = f
+                        out_cnt[nw] = 1
+                        nw += 1
+                    slots -= 1
+                    idle = 0
+                    granted += 1
+                else:
+                    idle += 1
+                i += 1
+            rr[c] = i % k
+            if granted:
+                ch_cum[c] += granted
+                moved += granted
+        for w in range(nw):
+            sent[out_fid[w]] += out_cnt[w]
+        return moved, nw
+
+
+def step_numba(sim) -> int:  # pragma: no cover - compiled path
+    """Single nopython call per cycle: land, aggregate, evaluate budgets
+    and walk every channel's round-robin pointer exactly like the
+    reference loop (bit-identical grants at any capacity)."""
+    kp: KernelPrep = sim._kprep
+    sim.cycle += 1
+    if sim.faults is not None:
+        sim._refresh_fault_mask()
+    dead = kp.dead_flags(sim._dead_mask)
+    buffered = sim.buffer_size is not None
+    moved, nw = _nb_advance(
+        sim._flat,
+        sim.sent,
+        sim._rr,
+        sim._ch_cum,
+        sim._pending_fids,
+        sim._pending_cnt,
+        len(sim._pending_fids),
+        sim._land_idx,
+        sim._flow_tree,
+        kp.done_cnt,
+        sim._grp_agg_idx,
+        kp.grp_off_ext,
+        sim._child_up_idx,
+        sim._avail_idx,
+        buffered,
+        sim.buffer_size if buffered else 0,
+        sim._grp_bcm_idx,
+        sim._child_bcfid,
+        sim._cons_from_sent,
+        sim._cons_sent_fid,
+        sim._cons_state_idx,
+        dead,
+        sim._dead_mask is not None,
+        sim._ch_off,
+        sim._ch_k,
+        sim._gr_fid,
+        sim.capacity,
+        kp.budget,
+        kp.snap,
+        kp.out_fid,
+        kp.out_cnt,
+    )
+    if moved:
+        sim._pending_fids = kp.out_fid[:nw].copy()
+        sim._pending_cnt = kp.out_cnt[:nw].copy()
+        sim.flits_moved += moved
+    else:
+        sim._pending_fids = np.zeros(0, dtype=np.int64)
+    return moved
+
+
+def select_step(impl: str):
+    """The fused step function for a resolved kernel impl."""
+    if impl == "numpy":
+        return step_numpy
+    if impl == "numba":
+        if not HAVE_NUMBA:  # defensive; resolve_kernel already probed
+            raise RuntimeError("numba is not available")
+        return step_numba
+    raise ValueError(f"no fused step for kernel impl {impl!r}")
+
+
+# ------------------------------------------------------- leap steady rings
+
+
+class SteadyRings:
+    """Preallocated detection rings for the leap engine's kernel mode.
+
+    The Python protocol detects a candidate period on hashed signatures
+    and then single-steps **two more periods** to verify it exactly and
+    record the budget components the jump bound needs.  These rings make
+    that re-stepping unnecessary: every stepped cycle already records its
+    exact signature, per-phase channel activity and a full state snapshot
+    into fixed ring rows.  When two consecutive periods match bit-for-bit
+    *in the rings*, the per-period delta and the licensed jump bound are
+    computed from the recorded rows — zero additional stepped cycles.
+
+    Per stepped cycle only the snapshots are taken; the budget components
+    the jump bound needs are reconstructed lazily at confirmation time,
+    entirely from the rings: arbitration never writes the state tensor,
+    so the pre-arbitration state of the cycle recorded at slot ``s`` is
+    its own ``flat`` row, and its pre-arbitration ``sent`` is simply the
+    *previous* slot's ``sent`` row.  A refused confirmation (the state
+    deltas are still converging) is retried on the very next cycle — a
+    retry costs one ring comparison, not the 2P re-step + cooldown the
+    Python protocol pays, so steady states are leaped at the earliest
+    cycle the evidence supports.
+
+    Ring length is ``2*p_max + 1`` rows (the confirmation reads back to
+    ``tick - 2P`` inclusively); the rows are counted against the
+    engine's verification memory budget when ``_p_max`` is derived, so
+    large-``q`` embeddings shrink the detectable period instead of
+    over-allocating (the budget-accounting bugfix).
+    """
+
+    def __init__(self, sim) -> None:
+        self.p_max = sim._p_max
+        R = 2 * self.p_max + 1
+        self.R = R
+        F = sim._F
+        self.buffered = sim.buffer_size is not None
+        self.sig: List[Optional[Tuple[bytes, bytes, bytes]]] = [None] * R
+        self.flat = np.zeros((R, sim._flat.size), dtype=np.int64)
+        self.sent = np.zeros((R, F), dtype=np.int64)
+        self.chcum = np.zeros((R, sim._C), dtype=np.int64)
+        self.moved = np.zeros(R, dtype=np.int64)
+        self.tick = 0
+        self.cooldown = 0
+        self.last_seen: dict = {}
+        self.reset(sim)
+
+    def reset(self, sim) -> None:
+        """Restart detection (state changed discontinuously: init, leap,
+        or a fault-schedule event cycle).  Slot 0 snapshots the restart
+        state — it is the ``tick - 2P`` base when a candidate confirms at
+        ``tick == 2P`` exactly."""
+        self.tick = 0
+        self.cooldown = 0
+        self.last_seen = {}
+        np.copyto(self.flat[0], sim._flat)
+        np.copyto(self.sent[0], sim.sent)
+        np.copyto(self.chcum[0], sim._ch_cum)
+        self.moved[0] = sim.flits_moved
+
+    # -- per-step recording + detection ----------------------------------
+
+    def observe(self, sim) -> None:
+        """Record this stepped cycle's row and try to confirm a steady
+        state from the rings (mirrors the Python ``_detect`` contract:
+        sets ``sim._steady`` or arms the cooldown)."""
+        self.tick += 1
+        t = self.tick
+        s = t % self.R
+        pend = sim._pending_fids
+        cnt = sim._pending_cnt[: len(pend)]
+        sig = (pend.tobytes(), cnt.tobytes(), sim._rr.tobytes())
+        self.sig[s] = sig
+        np.copyto(self.flat[s], sim._flat)
+        np.copyto(self.sent[s], sim.sent)
+        np.copyto(self.chcum[s], sim._ch_cum)
+        self.moved[s] = sim.flits_moved
+
+        if sim._steady is not None:
+            return
+        h = hash(sig)
+        if self.cooldown > 0:
+            self.cooldown -= 1
+            self.last_seen[h] = t
+            return
+        prev = self.last_seen.get(h)
+        self.last_seen[h] = t
+        if len(self.last_seen) > 65536:
+            self.last_seen = {h: t}
+        if prev is None:
+            return
+        period = t - prev
+        if period < 1 or period > self.p_max or t < 2 * period:
+            return
+        self._confirm(sim, period)
+
+    def _confirm(self, sim, P: int) -> None:
+        """Exact confirmation from the rings; on success arms
+        ``sim._steady`` with the same :class:`_Steady` payload the Python
+        verification protocol would produce."""
+        t = self.tick
+        R = self.R
+        # the trailing period must reproduce the preceding one exactly
+        # (j = 0 included: the hash match that flagged the candidate is
+        # not trusted against collisions)
+        for j in range(P):
+            if self.sig[(t - j) % R] != self.sig[(t - P - j) % R]:
+                return
+        s1 = (t - P) % R
+        s0 = (t - 2 * P) % R
+        # scalar pre-filter: flits_moved is the running sum of grants, so
+        # a periodic `sent` delta implies a periodic moved delta — if the
+        # cheap scalar disagrees, the array compare below cannot pass
+        if int(sim.flits_moved) - int(self.moved[s1]) != int(
+            self.moved[s1]
+        ) - int(self.moved[s0]):
+            return
+        r_flat = sim._flat - self.flat[s1]
+        r_sent = sim.sent - self.sent[s1]
+        if not (
+            np.array_equal(r_flat, self.flat[s1] - self.flat[s0])
+            and np.array_equal(r_sent, self.sent[s1] - self.sent[s0])
+        ):
+            # signatures repeat but the state deltas have not settled
+            # into the period yet — retry at the next repetition (cheap:
+            # a retry is ring compares, never re-stepping)
+            return
+        r_moved = int(sim.flits_moved - self.moved[s1])
+        if r_moved <= 0:
+            # never leap a zero-progress period (stall exactness)
+            self.cooldown = P
+            return
+        phases = [(t - P + 1 + j) % R for j in range(P)]
+        # budget components of each phase, reconstructed lazily from the
+        # rings: the step at slot ``s`` read the state its own ``flat``
+        # row records (arbitration never writes the tensor) and the
+        # ``sent`` of the *previous* slot.
+        avail = []
+        credit = [] if self.buffered else None
+        aggch = []
+        bcmch = [] if self.buffered else None
+        for s in phases:
+            flat_s = self.flat[s]
+            sent_pre = self.sent[(s - 1) % R]
+            avail.append(flat_s[sim._avail_idx] - sent_pre)
+            aggch.append(flat_s[sim._child_up_idx])
+            if self.buffered:
+                bcmch.append(sent_pre[sim._child_bcfid])
+                cons = np.where(
+                    sim._cons_from_sent,
+                    sent_pre[sim._cons_sent_fid],
+                    flat_s[sim._cons_state_idx],
+                )
+                credit.append(sim.buffer_size + cons - sent_pre)
+        k = sim._completion_bound(r_sent)
+        k, _, _ = sim._license_bounds(
+            P, k, avail, credit, aggch, bcmch, r_flat, r_sent
+        )
+        if k <= 0:
+            self.cooldown = P
+            return
+        phase_chd = np.stack(
+            [self.chcum[s] - self.chcum[(s - 1) % R] for s in phases], axis=1
+        )
+        sim._arm_steady(
+            period=P,
+            k_bound=k,
+            r_flat=r_flat,
+            r_sent=r_sent,
+            r_chcum=sim._ch_cum - self.chcum[s1],
+            r_moved=r_moved,
+            phase_chd=phase_chd,
+        )

@@ -52,6 +52,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simulator import kernels as _kernels
 from repro.simulator.cycle import CycleStats, SimulationStalled, default_max_cycles
 from repro.simulator.fastcycle import FastCycleSimulator
 from repro.simulator.faultsched import FaultSchedule
@@ -125,10 +126,11 @@ class LeapCycleSimulator(FastCycleSimulator):
         buffer_size: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
         telemetry=None,
+        kernel: str = "auto",
     ):
         super().__init__(
             g, trees, flits_per_tree, link_capacity, buffer_size, faults,
-            telemetry=telemetry,
+            telemetry=telemetry, kernel=kernel,
         )
         # flow -> channel index (for per-phase channel activity blocks)
         flow_ch = np.zeros(self._F, dtype=np.int64)
@@ -145,7 +147,25 @@ class LeapCycleSimulator(FastCycleSimulator):
             self._bc_fids = np.nonzero(is_bc)[0].reshape(self._T, n - 1)
         else:
             self._bc_fids = np.zeros((self._T, 0), dtype=np.int64)
-        self._p_max = max(1, min(self.P_MAX, self._VERIFY_BUDGET // max(1, self._F)))
+        # verification memory budget: count every per-phase value the
+        # active mode actually records — budget components + min-group
+        # inputs, the telemetry queue probe, and (kernel mode) the full
+        # SteadyRings rows — so P_MAX-sized candidates can't over-allocate
+        # on large embeddings; the cap shrinks the detectable period
+        # instead (correctness is unaffected, only detection reach)
+        slot = self._F + len(self._child_up_idx)
+        if self.buffer_size is not None:
+            slot += self._F + len(self._child_bcfid)
+        if self.telemetry is not None:
+            slot += self.n + len(self._child_bcfid)
+        if self._kprep is not None:
+            # kernel mode never runs the python recording protocol: its
+            # per-slot cost is the ring row alone (full state/sent/chcum
+            # snapshots + the signature bytes; budget components are
+            # reconstructed lazily at confirm time), and the rings hold
+            # two periods (2*p_max + 1 slots)
+            slot = 2 * (self._flat.size + 2 * self._F + self._C + 1)
+        self._p_max = max(1, min(self.P_MAX, self._VERIFY_BUDGET // max(1, slot)))
         # maps from decision inputs to the minimum.reduceat group feeding
         # them, for principled forward-drift extrapolation of min-planes
         self._grp_sizes = np.diff(
@@ -158,6 +178,12 @@ class LeapCycleSimulator(FastCycleSimulator):
         self.leap_log: List[Tuple[int, int, int]] = []
         self.stepped_cycles = 0
         self.idle_skipped = 0  # dead-wait cycles fast-forwarded, not stepped
+        # kernel mode: preallocated detection rings replace the Python
+        # verification protocol (steady states confirm with zero extra
+        # stepped cycles; see repro.simulator.kernels.SteadyRings)
+        self._kring = (
+            _kernels.SteadyRings(self) if self._kprep is not None else None
+        )
         self._reset_detector()
 
     # ------------------------------------------------------- detector state
@@ -170,6 +196,9 @@ class LeapCycleSimulator(FastCycleSimulator):
         self._rec: Optional[dict] = None     # active verification record
         self._steady: Optional[_Steady] = None
         self._obs: Optional[tuple] = None    # budget components of the step
+        kring = getattr(self, "_kring", None)
+        if kring is not None:
+            kring.reset(self)
 
     # --------------------------------------------------------- single steps
 
@@ -190,6 +219,8 @@ class LeapCycleSimulator(FastCycleSimulator):
                 # signature belongs to the previous dynamics regime, so
                 # abort any in-flight detection/verification and restart
                 self._reset_detector()
+            elif self._kring is not None:
+                self._kring.observe(self)
             else:
                 self._detect()
         return moved
@@ -375,6 +406,97 @@ class LeapCycleSimulator(FastCycleSimulator):
         per_tree = np.where(self._done_mask(), _INF_K, per_tree)
         return max(int(per_tree.min()), 0)
 
+    def _license_bounds(
+        self,
+        P: int,
+        k: int,
+        avail2,
+        credit2,
+        aggch2,
+        bcmch2,
+        r_flat: np.ndarray,
+        r_sent: np.ndarray,
+        queue2=None,
+        bcm2t=None,
+    ) -> Tuple[int, List[np.ndarray], List[np.ndarray]]:
+        """Shrink ``k`` to the largest jump licensed by the recorded
+        per-phase budget components of the period preceding the leap.
+
+        Forward per-period rates of the raw counters are exact while the
+        grant pattern repeats; min-plane rates come from the argmin group
+        (per phase), not from boundary deltas, which argmin churn between
+        the two verify periods could silently corrupt.  Shared by the
+        Python verification protocol (:meth:`_finalize_verify`) and the
+        kernel-mode ring confirmation
+        (:class:`repro.simulator.kernels.SteadyRings`), so both modes
+        license jumps with identical math.  Telemetry reconstruction
+        (``queue2``/``bcm2t``) is only passed on the Python path."""
+        child_rates = r_flat[self._child_up_idx]
+        buffered = self.buffer_size is not None
+        tel_on = queue2 is not None
+        need_cons = buffered or tel_on
+        bc_rates = r_sent[self._child_bcfid] if need_cons else None
+        r_cons_base = (
+            np.where(
+                self._cons_from_sent,
+                r_sent[self._cons_sent_fid],
+                r_flat[self._cons_state_idx],
+            )
+            if need_cons
+            else None
+        )
+        phase_q: List[np.ndarray] = []
+        phase_dq: List[np.ndarray] = []
+        for j in range(P):
+            if k <= 0:
+                break
+            rstar_agg, gb = self._min_group_terms(aggch2[j], child_rates)
+            k = min(k, gb)
+            d_avail_src = np.where(
+                self._avail_grp >= 0,
+                rstar_agg[np.maximum(self._avail_grp, 0)]
+                if rstar_agg.size
+                else np.int64(0),
+                r_flat[self._avail_idx],
+            )
+            k = min(k, self._regime_bound(avail2[j], d_avail_src - r_sent))
+            if buffered:
+                rstar_bcm, bb = self._min_group_terms(bcmch2[j], bc_rates)
+                k = min(k, bb)
+                r_cons = np.where(
+                    self._cons_grp >= 0,
+                    rstar_bcm[np.maximum(self._cons_grp, 0)]
+                    if rstar_bcm.size
+                    else np.int64(0),
+                    r_cons_base,
+                )
+                k = min(k, self._regime_bound(credit2[j], r_cons - r_sent))
+            if tel_on:
+                # license linear queue reconstruction inside the leap: the
+                # post-step broadcast mins must advance at their argmin-
+                # stable rate too (one extra bound on k), and the queue
+                # drift is derived from those rates — never from boundary
+                # deltas, which argmin churn could corrupt
+                rstar_bcm_t, bb_t = self._min_group_terms(bcm2t[j], bc_rates)
+                k = min(k, bb_t)
+                r_cons_t = np.where(
+                    self._cons_grp >= 0,
+                    rstar_bcm_t[np.maximum(self._cons_grp, 0)]
+                    if rstar_bcm_t.size
+                    else np.int64(0),
+                    r_cons_base,
+                )
+                dq = np.zeros(self.n, dtype=np.int64)
+                np.add.at(dq, self._flow_dst, r_sent - r_cons_t)
+                phase_q.append(queue2[j])
+                phase_dq.append(dq)
+        return k, phase_q, phase_dq
+
+    def _arm_steady(self, **kw) -> None:
+        """Install a verified steady state (the kernel-mode ring
+        confirmation's entry point into the leap machinery)."""
+        self._steady = _Steady(**kw)
+
     def _finalize_verify(self) -> None:
         rec, self._rec = self._rec, None
         P = rec["P"]
@@ -395,71 +517,19 @@ class LeapCycleSimulator(FastCycleSimulator):
             return
 
         k = self._completion_bound(r_sent)
-        # forward per-period rates of the raw counters are exact while the
-        # grant pattern repeats; min-plane rates come from the argmin group
-        # (per phase), not from boundary deltas, which argmin churn between
-        # the two verify periods could silently corrupt
-        child_rates = r_flat[self._child_up_idx]
-        buffered = self.buffer_size is not None
         tel_on = self.telemetry is not None
-        need_cons = buffered or tel_on
-        bc_rates = r_sent[self._child_bcfid] if need_cons else None
-        r_cons_base = (
-            np.where(
-                self._cons_from_sent,
-                r_sent[self._cons_sent_fid],
-                r_flat[self._cons_state_idx],
-            )
-            if need_cons
-            else None
+        k, phase_q, phase_dq = self._license_bounds(
+            P,
+            k,
+            rec["avail2"],
+            rec["credit2"],
+            rec["aggch2"],
+            rec["bcmch2"],
+            r_flat,
+            r_sent,
+            queue2=rec["queue2"] if tel_on else None,
+            bcm2t=rec["bcm2t"] if tel_on else None,
         )
-        phase_q: List[np.ndarray] = []
-        phase_dq: List[np.ndarray] = []
-        for j in range(P):
-            if k <= 0:
-                break
-            rstar_agg, gb = self._min_group_terms(rec["aggch2"][j], child_rates)
-            k = min(k, gb)
-            d_avail_src = np.where(
-                self._avail_grp >= 0,
-                rstar_agg[np.maximum(self._avail_grp, 0)]
-                if rstar_agg.size
-                else np.int64(0),
-                r_flat[self._avail_idx],
-            )
-            k = min(k, self._regime_bound(rec["avail2"][j], d_avail_src - r_sent))
-            if buffered:
-                rstar_bcm, bb = self._min_group_terms(rec["bcmch2"][j], bc_rates)
-                k = min(k, bb)
-                r_cons = np.where(
-                    self._cons_grp >= 0,
-                    rstar_bcm[np.maximum(self._cons_grp, 0)]
-                    if rstar_bcm.size
-                    else np.int64(0),
-                    r_cons_base,
-                )
-                k = min(k, self._regime_bound(rec["credit2"][j], r_cons - r_sent))
-            if tel_on:
-                # license linear queue reconstruction inside the leap: the
-                # post-step broadcast mins must advance at their argmin-
-                # stable rate too (one extra bound on k), and the queue
-                # drift is derived from those rates — never from boundary
-                # deltas, which argmin churn could corrupt
-                rstar_bcm_t, bb_t = self._min_group_terms(
-                    rec["bcm2t"][j], bc_rates
-                )
-                k = min(k, bb_t)
-                r_cons_t = np.where(
-                    self._cons_grp >= 0,
-                    rstar_bcm_t[np.maximum(self._cons_grp, 0)]
-                    if rstar_bcm_t.size
-                    else np.int64(0),
-                    r_cons_base,
-                )
-                dq = np.zeros(self.n, dtype=np.int64)
-                np.add.at(dq, self._flow_dst, r_sent - r_cons_t)
-                phase_q.append(rec["queue2"][j])
-                phase_dq.append(dq)
         if k <= 0:
             self._cooldown = 4 * self._p_max
             return
@@ -507,6 +577,10 @@ class LeapCycleSimulator(FastCycleSimulator):
         # exactly from the leapt UPD counters (matches the post-step
         # invariant AGG == min over children's UPD)
         self._refresh_agg()
+        if self._kprep is not None:
+            # the jump moved state without landing events: rebuild the
+            # per-tree landed totals the kernel done-check reads
+            self._kprep.sync_done(self)
         # keep the engine's internal cycle counter (the fault clock that
         # step() consults via down_edges_at) in lockstep with the leap
         self.cycle += k * st.period

@@ -155,6 +155,7 @@ def run_with_recovery(
     max_cycles: Optional[int] = None,
     max_episodes: int = 8,
     telemetry=None,
+    kernel: str = "auto",
 ) -> RecoveryResult:
     """Run an ``m``-element Allreduce under ``faults``, re-planning
     mid-flight whenever a failure permanently severs progress.
@@ -209,6 +210,7 @@ def run_with_recovery(
             buffer_size,
             faults=cur_faults,
             telemetry=telemetry,
+            kernel=kernel,
         )
         leg_budget = None if max_cycles is None else max_cycles - offset
         if leg_budget is not None and leg_budget <= 0:

@@ -22,7 +22,7 @@ from repro.simulator import (
     trace_allreduce,
 )
 
-from tests.strategies import CYCLE_ENGINES, plan_used_links
+from tests.strategies import CYCLE_ENGINES, KERNELS, plan_used_links
 
 Q = 7
 M = 120
@@ -53,12 +53,15 @@ def _grid():
     ]
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize(
     "label,scheme,build",
     _grid(),
     ids=[f"{s}-{l}" for l, s, _ in _grid()],
 )
-def test_engines_bit_identical_under_faults(label, scheme, build):
+def test_engines_bit_identical_under_faults(label, scheme, build, kernel):
+    # the kernel axis rides on the engine grid: the reference baseline is
+    # pinned to the python path, every other engine steps via ``kernel``
     plan = build_plan(Q, scheme)
     faults = build(plan_used_links(plan))
     parts = plan.partition(M)
@@ -66,9 +69,11 @@ def test_engines_bit_identical_under_faults(label, scheme, build):
     outcomes = {}
     traces = {}
     for engine in CYCLE_ENGINES:
+        kern = "python" if engine == "reference" else kernel
         try:
             s = simulate_allreduce(
-                plan.topology, plan.trees, parts, engine=engine, faults=faults
+                plan.topology, plan.trees, parts, engine=engine, faults=faults,
+                kernel=kern,
             )
             outcomes[engine] = ("done", s.cycles, s.tree_completion,
                                 s.flits_moved)
@@ -76,15 +81,16 @@ def test_engines_bit_identical_under_faults(label, scheme, build):
             outcomes[engine] = ("stall", exc.cycle, exc.pending)
         try:
             traces[engine] = trace_allreduce(
-                plan.topology, plan.trees, parts, engine=engine, faults=faults
+                plan.topology, plan.trees, parts, engine=engine, faults=faults,
+                kernel=kern,
             ).activity
         except SimulationStalled:
             traces[engine] = None
 
     ref = outcomes["reference"]
     for engine in CYCLE_ENGINES[1:]:
-        assert outcomes[engine] == ref, (label, engine, outcomes)
-        assert traces[engine] == traces["reference"], (label, engine)
+        assert outcomes[engine] == ref, (label, engine, kernel, outcomes)
+        assert traces[engine] == traces["reference"], (label, engine, kernel)
 
 
 def test_leap_compressed_trace_matches_dense_under_faults():

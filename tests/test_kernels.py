@@ -1,0 +1,290 @@
+"""Compiled/fused per-cycle kernels: selection rules and bit-identity.
+
+``repro.simulator.kernels`` supplies the serial engines' fused stepping
+(``kernel="auto"|"compiled"|"python"``).  The differential suites already
+run the kernel axis over the full engine grid; this module pins what is
+specific to the kernel layer itself:
+
+- :func:`~repro.simulator.kernels.resolve_kernel` selection semantics
+  (unknown names, ``"compiled"`` without numba, telemetry routing);
+- the reference engine's whole-run delegation (``kernel != "python"``
+  hands stepping to an internal fast engine, observables stay exact);
+- the leap engine's ring-based detector (kernel mode confirms steady
+  states with zero extra stepped cycles and the leap-log invariant
+  holds);
+- the width-aware verification budget: preallocated ring buffers are
+  charged against ``_VERIFY_BUDGET`` so ``P_MAX``-sized candidates can
+  never over-allocate, and the engine stays exact at the ``p_max == 1``
+  boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    CycleSimulator,
+    FastCycleSimulator,
+    LeapCycleSimulator,
+    FaultSchedule,
+    HAVE_NUMBA,
+    KERNEL_CHOICES,
+    KERNEL_IMPL,
+    make_engine,
+    resolve_kernel,
+    simulate_allreduce,
+)
+from repro.simulator.leap import LeapCycleSimulator as _Leap
+from repro.telemetry import Collector
+
+from tests.strategies import KERNELS, get_plan, plan_used_links
+
+
+# ----------------------------------------------------------- selection
+
+
+class TestResolveKernel:
+    def test_choices_exported(self):
+        assert KERNEL_CHOICES == ("auto", "compiled", "python")
+        assert KERNEL_IMPL in ("numba", "numpy")
+        assert (KERNEL_IMPL == "numba") == HAVE_NUMBA
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("vectorized")
+
+    def test_python_always_python(self):
+        assert resolve_kernel("python") == "python"
+        assert resolve_kernel("python", telemetry=object()) == "python"
+
+    def test_auto_resolves_to_best_available(self):
+        assert resolve_kernel("auto") == KERNEL_IMPL
+
+    def test_auto_with_telemetry_routes_python(self):
+        # telemetry hooks live in the per-stage python step; auto must
+        # transparently keep instrumented runs on it
+        assert resolve_kernel("auto", telemetry=object()) == "python"
+
+    def test_compiled_with_telemetry_rejected(self):
+        with pytest.raises(ValueError, match="telemetry"):
+            resolve_kernel("compiled", telemetry=object())
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_compiled_without_numba_raises(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            resolve_kernel("compiled")
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba missing")
+    def test_compiled_with_numba_resolves(self):
+        assert resolve_kernel("compiled") == "numba"
+
+    def test_engine_constructors_validate_kernel(self):
+        plan = get_plan(3, "low-depth")
+        parts = plan.partition(6)
+        for engine in ("reference", "fast", "leap", "batched"):
+            with pytest.raises(ValueError, match="unknown kernel"):
+                make_engine(engine, plan.topology, plan.trees, parts,
+                            kernel="bogus")
+            if not HAVE_NUMBA:
+                with pytest.raises(RuntimeError, match="numba"):
+                    make_engine(engine, plan.topology, plan.trees, parts,
+                                kernel="compiled")
+
+    def test_telemetry_run_stays_on_python_path(self):
+        plan = get_plan(3, "low-depth")
+        col = Collector(sample_every=8)
+        sim = make_engine("fast", plan.topology, plan.trees,
+                          plan.partition(12), telemetry=col, kernel="auto")
+        assert sim.kernel_impl == "python"
+        sim.run()
+        assert col.records  # the hooks actually fired
+
+
+# ----------------------------------------- reference-engine delegation
+
+
+def _observables(sim):
+    return (
+        sim.cycle,
+        sim.flits_moved,
+        tuple(sim.channel_flit_counts()),
+        tuple(sim.delivered_floor()),
+        tuple(sim.reduced_at_root()),
+        tuple(sim.queue_occupancy()),
+        tuple(map(tuple, sim.phase_flit_totals())),
+        sim.done(),
+        sim.has_in_flight(),
+    )
+
+
+class TestReferenceDelegation:
+    CASES = [
+        # (q, scheme, m, capacity, buffer, faulted)
+        (3, "low-depth", 25, 1, None, False),
+        (5, "edge-disjoint", 18, 1, 2, False),
+        (5, "low-depth", 16, 3, None, False),
+        (5, "low-depth", 21, 2, 2, True),
+    ]
+
+    @pytest.mark.parametrize("q,scheme,m,cap,buf,faulted", CASES)
+    def test_stepwise_bit_identity(self, q, scheme, m, cap, buf, faulted):
+        plan = get_plan(q, scheme)
+        parts = plan.partition(m)
+
+        def build(kernel):
+            faults = (
+                FaultSchedule([(plan_used_links(plan)[0], 6, 20)])
+                if faulted else None
+            )
+            return CycleSimulator(plan.topology, plan.trees, parts, cap, buf,
+                                  faults=faults, kernel=kernel)
+
+        py, kern = build("python"), build("auto")
+        assert py._kern is None
+        assert kern._kern is not None  # stepping delegated internally
+        assert kern.channels() == py.channels()
+        while not py.done():
+            assert py.step() == kern.step()
+            assert _observables(py) == _observables(kern)
+        assert kern.done()
+
+    def test_run_syncs_counters(self):
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(30)
+        ref = CycleSimulator(plan.topology, plan.trees, parts, kernel="python")
+        dele = CycleSimulator(plan.topology, plan.trees, parts, kernel="auto")
+        assert dele.run() == ref.run()
+        assert (dele.cycle, dele.flits_moved) == (ref.cycle, ref.flits_moved)
+
+
+# --------------------------------------------- leap ring-mode detector
+
+
+class TestLeapRingDetector:
+    def test_kernel_mode_confirms_without_extra_stepped_cycles(self):
+        # the rings verify retrospectively: a confirmed candidate arms
+        # the steady state on the spot, so kernel-mode stepped cycles
+        # can only be <= the python detector's (which steps 2 extra
+        # periods through its verification window)
+        plan = get_plan(7, "low-depth")
+        parts = plan.partition(5_000)
+        runs = {}
+        for kernel in ("python", "auto"):
+            sim = make_engine("leap", plan.topology, plan.trees, parts,
+                              kernel=kernel)
+            stats = sim.run()
+            leaped = sum(k * p for _, p, k in sim.leap_log)
+            assert sim.stepped_cycles + leaped == stats.cycles, kernel
+            runs[kernel] = (stats, sim.stepped_cycles)
+        assert runs["python"][0] == runs["auto"][0]
+        if KERNEL_IMPL != "python":
+            assert runs["auto"][1] <= runs["python"][1]
+
+    def test_ring_mode_exact_under_faults(self):
+        plan = get_plan(7, "low-depth")
+        parts = plan.partition(800)
+        faults = FaultSchedule([(plan_used_links(plan)[1], 10, 120)])
+        base = simulate_allreduce(plan.topology, plan.trees, parts,
+                                  engine="fast", faults=faults,
+                                  kernel="python")
+        for kernel in KERNELS:
+            got = simulate_allreduce(plan.topology, plan.trees, parts,
+                                     engine="leap", faults=faults,
+                                     kernel=kernel)
+            assert got == base, kernel
+
+    def test_ring_mode_exact_with_buffers_and_capacity(self):
+        plan = get_plan(5, "edge-disjoint")
+        parts = plan.partition(700)
+        base = simulate_allreduce(plan.topology, plan.trees, parts, 2,
+                                  buffer_size=3, engine="fast",
+                                  kernel="python")
+        got = simulate_allreduce(plan.topology, plan.trees, parts, 2,
+                                 buffer_size=3, engine="leap", kernel="auto")
+        assert got == base
+
+
+# ------------------------------------- verification budget (satellite 6)
+
+
+class TestVerifyBudget:
+    def test_kernel_mode_charges_ring_buffers(self):
+        # the rings snapshot the full state tensor per slot, so with the
+        # same budget the kernel-mode period cap can only be smaller
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(20)
+        py = LeapCycleSimulator(plan.topology, plan.trees, parts,
+                                kernel="python")
+        kern = LeapCycleSimulator(plan.topology, plan.trees, parts,
+                                  kernel="auto")
+        assert 1 <= kern._p_max <= py._p_max <= _Leap.P_MAX
+        if kern._kprep is not None:
+            # the preallocated rings must actually fit the budget
+            slot = 2 * (kern._flat.size + kern._F + kern._C + 1)
+            assert kern._p_max == 1 or kern._p_max * slot <= _Leap._VERIFY_BUDGET
+
+    def test_small_q_keeps_full_period_cap(self):
+        # the budget only bites on large embeddings: paper-scale q=7
+        # must keep the full P_MAX reach in every mode
+        plan = get_plan(5, "low-depth")
+        for kernel in KERNELS:
+            sim = LeapCycleSimulator(plan.topology, plan.trees,
+                                     plan.partition(10), kernel=kernel)
+            assert sim._p_max == _Leap.P_MAX, kernel
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_exact_at_p_max_boundary(self, kernel):
+        # regression: a tiny budget clamps _p_max to 1; the engine must
+        # degrade to fewer/shorter leaps, never to wrong answers or
+        # over-allocation
+        class TinyBudget(LeapCycleSimulator):
+            _VERIFY_BUDGET = 1
+
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(900)
+        tiny = TinyBudget(plan.topology, plan.trees, parts, kernel=kernel)
+        assert tiny._p_max == 1
+        stats = tiny.run()
+        base = simulate_allreduce(plan.topology, plan.trees, parts,
+                                  engine="fast", kernel="python")
+        assert stats == base
+        leaped = sum(k * p for _, p, k in tiny.leap_log)
+        assert tiny.stepped_cycles + leaped == stats.cycles
+        assert all(p == 1 for _, p, _k in tiny.leap_log)
+
+
+# ------------------------------------------------- numpy-path internals
+
+
+class TestKernelPrep:
+    def test_done_counts_track_python_done(self):
+        plan = get_plan(5, "low-depth")
+        parts = plan.partition(14)
+        sim = FastCycleSimulator(plan.topology, plan.trees, parts,
+                                 kernel="auto")
+        ref = FastCycleSimulator(plan.topology, plan.trees, parts,
+                                 kernel="python")
+        while not ref.done():
+            sim.step(), ref.step()
+            for i in range(len(plan.trees)):
+                assert sim.tree_done(i) == ref.tree_done(i)
+        assert sim.done()
+
+    def test_zero_flit_trees_complete_immediately(self):
+        plan = get_plan(3, "low-depth")
+        parts = [0] * plan.num_trees
+        for kernel in KERNELS:
+            stats = simulate_allreduce(plan.topology, plan.trees, parts,
+                                       engine="fast", kernel=kernel)
+            assert stats.cycles == 0
+
+    def test_heterogeneous_parts_exact(self):
+        plan = get_plan(5, "edge-disjoint")
+        rng = np.random.default_rng(3)
+        parts = [int(x) for x in rng.integers(0, 9, plan.num_trees)]
+        base = simulate_allreduce(plan.topology, plan.trees, parts,
+                                  engine="fast", kernel="python")
+        for kernel in KERNELS:
+            for engine in ("fast", "reference", "leap"):
+                got = simulate_allreduce(plan.topology, plan.trees, parts,
+                                         engine=engine, kernel=kernel)
+                assert got == base, (engine, kernel)

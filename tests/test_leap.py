@@ -32,7 +32,7 @@ from repro.simulator.engine import ENGINES
 from repro.topology import clear_polarfly_cache, polarfly_graph
 from repro.topology.routing import route_edges
 
-from tests.strategies import CYCLE_ENGINES, get_plan
+from tests.strategies import CYCLE_ENGINES, KERNELS, get_plan
 
 
 def test_engine_registry_matches_strategies():
@@ -45,12 +45,15 @@ def test_engine_registry_matches_strategies():
 
 
 class TestLeaping:
-    def test_leap_engine_actually_leaps(self):
-        """Stepped cycles must not scale with m once steady state locks."""
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_leap_engine_actually_leaps(self, kernel):
+        """Stepped cycles must not scale with m once steady state locks —
+        on the python detector and the kernel ring detector alike."""
         plan = get_plan(7, "low-depth")
         stepped = {}
         for m in (2_000, 20_000):
-            sim = make_engine("leap", plan.topology, plan.trees, plan.partition(m))
+            sim = make_engine("leap", plan.topology, plan.trees,
+                              plan.partition(m), kernel=kernel)
             stats = sim.run()
             assert sim.leap_log, f"no leap at m={m}"
             leaped = sum(k * p for _, p, k in sim.leap_log)
@@ -59,19 +62,22 @@ class TestLeaping:
         # O(depth + #events): growing m 10x must not grow stepped cycles
         assert stepped[20_000] <= stepped[2_000] + 8
 
-    def test_leap_exact_at_moderate_m(self):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_leap_exact_at_moderate_m(self, kernel):
         """Cross-check against the O(cycles) fast engine where it is
         still affordable, including credit flow control and capacity."""
         plan = get_plan(7, "edge-disjoint")
         for cap, buf in ((1, None), (2, 3)):
             flits = plan.partition(1_500)
             fast = simulate_allreduce(
-                plan.topology, plan.trees, flits, cap, buffer_size=buf, engine="fast"
+                plan.topology, plan.trees, flits, cap, buffer_size=buf,
+                engine="fast", kernel="python",
             )
             leap = simulate_allreduce(
-                plan.topology, plan.trees, flits, cap, buffer_size=buf, engine="leap"
+                plan.topology, plan.trees, flits, cap, buffer_size=buf,
+                engine="leap", kernel=kernel,
             )
-            assert leap == fast, (cap, buf)
+            assert leap == fast, (cap, buf, kernel)
 
     def test_leap_exact_at_paper_scale_m(self):
         """At m where per-cycle engines are infeasible, pin the affine
