@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collectives.costmodel import CostModel
-from repro.core.plan import build_plan
+from repro.core.plancache import get_plan
 
 __all__ = [
     "CrossoverPoint",
@@ -50,7 +50,7 @@ def plan_metrics(
     (cheap at paper-scale sizes with the default ``"leap"`` engine). The
     default (``None``) returns exactly the original mapping, so existing
     cached cells stay valid."""
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     out: Dict[str, object] = {
         "aggregate_bandwidth": plan.aggregate_bandwidth,
         "max_depth": plan.max_depth,

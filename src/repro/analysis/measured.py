@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.core.plan import build_plan
+from repro.core.plancache import get_plan
 
 __all__ = ["measured_aggregate_bandwidth"]
 
@@ -40,7 +40,7 @@ def measured_aggregate_bandwidth(
 
     if m_per_tree <= 0:
         raise ValueError("m_per_tree must be positive")
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     stats = simulate_allreduce(
         plan.topology,
         plan.trees,

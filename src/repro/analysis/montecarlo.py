@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.recovery import used_links
-from repro.core import build_plan
+from repro.core import get_plan
 from repro.simulator import SimulationStalled, make_engine
 from repro.simulator.batched import BatchedCycleSimulator, LaneSpec
 from repro.simulator.faultsched import FaultSchedule
@@ -129,7 +129,7 @@ def fault_monte_carlo(
         raise ValueError("k must be >= 1 samples")
     if chunk < 1:
         raise ValueError("chunk must be >= 1 lanes")
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     links = used_links(plan)
     if num_faults < 1 or num_faults > len(links):
         raise ValueError(

@@ -79,12 +79,12 @@ def recovery_row(
     engine: str = "leap",
 ) -> RecoveryRow:
     """One table row — registered as the ``recovery_row`` sweep task."""
-    from repro.core.plan import build_plan
+    from repro.core.plancache import get_plan
     from repro.simulator.cycle import simulate_allreduce
     from repro.simulator.faultsched import FaultSchedule
     from repro.simulator.recovery import run_with_recovery
 
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     links = used_links(plan)
     edge = links[link_rank % len(links)]
     parts = plan.partition(m)

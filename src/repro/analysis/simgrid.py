@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core import build_plan
+from repro.core import get_plan
 from repro.simulator import SimulationStalled, make_engine
 from repro.simulator.batched import BatchedCycleSimulator, LaneOutcome, LaneSpec
 from repro.simulator.cycle import CycleStats
@@ -110,7 +110,7 @@ def sim_point(
     bit-identical for every choice, so cached cells and batched grouping
     are unaffected.
     """
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     lane = _lane(plan, m, link_capacity, buffer_size, faults)
     try:
         stats = make_engine(
@@ -150,7 +150,7 @@ def sim_point_batch(cells_kwargs: Sequence[Dict[str, Any]]) -> List[Dict[str, An
     raises it here too.
     """
     first = cells_kwargs[0]
-    plan = build_plan(first["q"], first.get("scheme", "low-depth"))
+    plan = get_plan(first["q"], first.get("scheme", "low-depth"))
     lanes = [
         _lane(
             plan,

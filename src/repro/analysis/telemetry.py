@@ -62,11 +62,11 @@ def telemetry_row(
     top: int = 3,
 ) -> TelemetryRow:
     """One table row — registered as the ``telemetry_row`` sweep task."""
-    from repro.core.plan import build_plan
+    from repro.core.plancache import get_plan
     from repro.simulator.cycle import simulate_allreduce
     from repro.telemetry import Collector, loads_telemetry
 
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     parts = plan.partition(m)
     col = Collector(sample_every=sample_every)
     stats = simulate_allreduce(

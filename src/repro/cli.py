@@ -32,7 +32,14 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("info", help="topology summary")
     s.add_argument("q", type=int, help="prime-power PolarFly parameter")
 
-    s = sub.add_parser("plan", help="build an Allreduce embedding plan")
+    s = sub.add_parser(
+        "plan",
+        help="build an Allreduce embedding plan",
+        description="Build (or fetch from the process-wide plan cache) an "
+        "embedding plan, print its metrics, the per-stage construction "
+        "timings (graph build / tree construction / bandwidth fill / "
+        "partition) and the cache hit/miss counters.",
+    )
     s.add_argument("q", type=int)
     s.add_argument("--scheme", default="low-depth",
                    choices=("low-depth", "edge-disjoint", "single"))
@@ -220,8 +227,17 @@ def _cmd_info(args) -> int:
 
 def _cmd_plan(args) -> int:
     from repro.core import build_plan, optimal_bandwidth
+    from repro.core.plancache import global_plan_cache
+    from repro.utils.profiling import StageTimer
 
-    plan = build_plan(args.q, args.scheme, link_bandwidth=args.bandwidth)
+    cache = global_plan_cache()
+    timer = StageTimer()
+    key = cache.key(args.q, args.scheme, args.bandwidth)
+    hit, plan = cache.get(key)
+    if not hit:
+        plan = build_plan(args.q, args.scheme, link_bandwidth=args.bandwidth,
+                          timer=timer)
+        cache.put(key, plan)
     print(f"scheme={args.scheme} q={args.q}: {plan.num_trees} trees")
     print(f"  depth={plan.max_depth} congestion={plan.max_congestion} "
           f"vcs={plan.vcs_required}")
@@ -229,18 +245,27 @@ def _cmd_plan(args) -> int:
           f"(optimal {optimal_bandwidth(args.q, args.bandwidth)}, "
           f"normalized {float(plan.normalized_bandwidth):.4f})")
     if args.m:
-        parts = plan.partition(args.m)
+        with timer.stage("partition"):
+            parts = plan.partition(args.m)
         print(f"  partition of m={args.m}: {parts}")
         print(f"  estimated time (hop latency 1): "
               f"{float(plan.estimated_time(args.m, 1)):.1f}")
+    stats = cache.stats()
+    print(f"  plan cache: {'hit' if hit else 'miss'} "
+          f"({stats['hits']} hits / {stats['misses']} misses this process)")
+    if timer.stages_ns:
+        print("  construction stages:")
+        for name, ns in timer.as_dict_ns().items():
+            print(f"    {name:<20} {ns / 1e6:>9.2f} ms")
+        print(f"    {'total':<20} {timer.total_ns() / 1e6:>9.2f} ms")
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    from repro.core import build_plan
+    from repro.core import get_plan
     from repro.simulator import fluid_simulate, simulate_allreduce
 
-    plan = build_plan(args.q, args.scheme)
+    plan = get_plan(args.q, args.scheme)
     parts = plan.partition(args.m)
     stats = simulate_allreduce(
         plan.topology,
@@ -262,10 +287,10 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_faults(args) -> int:
     from repro.analysis.recovery import used_links
-    from repro.core import build_plan
+    from repro.core import get_plan
     from repro.simulator import FaultSchedule, run_with_recovery
 
-    plan = build_plan(args.q, args.scheme)
+    plan = get_plan(args.q, args.scheme)
     edge = tuple(args.link) if args.link else used_links(plan)[0]
     faults = FaultSchedule.single(edge, args.down, up=args.up)
     res = run_with_recovery(
@@ -326,9 +351,9 @@ def _cmd_telemetry(args) -> int:
     from repro.utils.profiling import StageTimer
 
     timer = StageTimer()
-    with timer.stage("plan"):
-        plan = build_plan(args.q, args.scheme)
-    parts = plan.partition(args.m)
+    plan = build_plan(args.q, args.scheme, timer=timer)
+    with timer.stage("partition"):
+        parts = plan.partition(args.m)
     col = Collector(sample_every=args.sample_every, include_perf=args.perf)
     col.set_construction(timer)
     stats = simulate_allreduce(
@@ -349,8 +374,11 @@ def _cmd_telemetry(args) -> int:
     print(f"  flit-hops {counters.flits_moved} "
           f"(reduce {sum(counters.reduce_hops)}, "
           f"broadcast {sum(counters.broadcast_hops)}), "
-          f"stall cycles {counters.stall_cycles}, "
-          f"plan construction {timer.total_ns() / 1e6:.1f} ms")
+          f"stall cycles {counters.stall_cycles}")
+    stages = ", ".join(
+        f"{name} {ns / 1e6:.1f} ms" for name, ns in timer.as_dict_ns().items()
+    )
+    print(f"  plan construction {timer.total_ns() / 1e6:.1f} ms ({stages})")
 
     hot = run.hot_links(top=args.top)
     if hot and util.shape[0]:
@@ -444,9 +472,9 @@ def _cmd_export(args) -> int:
     )
 
     if args.what == "trees":
-        from repro.core import build_plan
+        from repro.core import get_plan
 
-        plan = build_plan(args.q, args.scheme)
+        plan = get_plan(args.q, args.scheme)
         if args.format != "dot":
             print("tree embeddings are exported as DOT only", file=sys.stderr)
             return 2
@@ -479,10 +507,10 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_config(args) -> int:
-    from repro.core import build_plan
+    from repro.core import get_plan
     from repro.simulator import generate_fabric_config
 
-    plan = build_plan(args.q, args.scheme)
+    plan = get_plan(args.q, args.scheme)
     text = generate_fabric_config(plan.topology, plan.trees).to_json()
     if args.output:
         with open(args.output, "w") as f:

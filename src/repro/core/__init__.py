@@ -5,6 +5,7 @@
   Corollary 7.1.
 - :func:`optimal_partition` — the Equation 2 sub-vector split.
 - :func:`build_plan` / :class:`AllreducePlan` — end-to-end embeddings.
+- :func:`get_plan` — ``build_plan`` through the process-wide plan cache.
 """
 
 from repro.core.allreduce import InNetworkCollectives, ReducedSlice
@@ -19,6 +20,7 @@ from repro.core.bandwidth import (
     tree_bandwidths,
 )
 from repro.core.plan import SCHEMES, AllreducePlan, build_plan
+from repro.core.plancache import PlanCache, get_plan, global_plan_cache, plan_key
 
 __all__ = [
     "InNetworkCollectives",
@@ -36,5 +38,9 @@ __all__ = [
     "bottleneck_trace",
     "AllreducePlan",
     "build_plan",
+    "get_plan",
+    "PlanCache",
+    "global_plan_cache",
+    "plan_key",
     "SCHEMES",
 ]

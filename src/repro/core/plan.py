@@ -26,9 +26,12 @@ Schemes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.utils.profiling import StageTimer
 
 from repro.core.bandwidth import (
     Number,
@@ -142,7 +145,8 @@ class AllreducePlan:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"AllreducePlan(q={self.q}, scheme={self.scheme!r}, trees={self.num_trees}, "
+            f"AllreducePlan(q={self.q}, scheme={self.scheme!r}, "
+            f"trees={self.num_trees}, "
             f"agg_bw={self.aggregate_bandwidth}, depth={self.max_depth}, "
             f"congestion={self.max_congestion})"
         )
@@ -154,6 +158,7 @@ def build_plan(
     link_bandwidth: Number = 1,
     starter: Optional[int] = None,
     max_trees: Optional[int] = None,
+    timer: Optional["StageTimer"] = None,
 ) -> AllreducePlan:
     """Construct trees for ``scheme`` on PolarFly of parameter ``q`` and run
     the Algorithm 1 performance model.
@@ -164,30 +169,50 @@ def build_plan(
     like Mellanox SHARP that support only a limited number (up to two,
     Section 1.1). The first ``max_trees`` trees of the construction are
     kept; Algorithm 1 then redistributes the freed link bandwidth.
+
+    ``timer`` (a :class:`~repro.utils.profiling.StageTimer`) records the
+    "graph build" / "tree construction" / "bandwidth fill" stage timings
+    — what ``repro plan`` and the telemetry ``perf`` record report.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
     if max_trees is not None and max_trees < 1:
         raise ValueError("max_trees must be >= 1")
+    if timer is None:
+        from repro.utils.profiling import StageTimer
+
+        timer = StageTimer()  # unobserved sink; keeps the stages unconditional
     if scheme == "low-depth":
-        g = polarfly_graph(q).graph
-        trees = low_depth_trees(q, starter)
+        with timer.stage("graph build"):
+            g = polarfly_graph(q).graph
+        with timer.stage("tree construction"):
+            trees = low_depth_trees(q, starter)
     elif scheme == "low-depth-even":
         from repro.trees.lowdepth_even import low_depth_trees_even
 
-        g = polarfly_graph(q).graph
-        trees = low_depth_trees_even(q, starter)
+        with timer.stage("graph build"):
+            g = polarfly_graph(q).graph
+        with timer.stage("tree construction"):
+            trees = low_depth_trees_even(q, starter)
     elif scheme == "edge-disjoint":
-        g = singer_graph(q).graph
-        trees = edge_disjoint_hamiltonian_trees(q)
+        with timer.stage("graph build"):
+            g = singer_graph(q).graph
+        with timer.stage("tree construction"):
+            trees = edge_disjoint_hamiltonian_trees(q)
     else:
-        g = polarfly_graph(q).graph
-        trees = [single_tree(g)]
+        with timer.stage("graph build"):
+            g = polarfly_graph(q).graph
+        with timer.stage("tree construction"):
+            trees = [single_tree(g)]
     if max_trees is not None:
         trees = trees[:max_trees]
-    bws = tree_bandwidths(g, trees, link_bandwidth)
-    big_b = bws[0] * 0 + (Fraction(link_bandwidth) if not isinstance(link_bandwidth, float)
-                          else Fraction(link_bandwidth).limit_denominator(10**9))
+    with timer.stage("bandwidth fill"):
+        bws = tree_bandwidths(g, trees, link_bandwidth)
+    big_b = bws[0] * 0 + (
+        Fraction(link_bandwidth)
+        if not isinstance(link_bandwidth, float)
+        else Fraction(link_bandwidth).limit_denominator(10**9)
+    )
     return AllreducePlan(
         q=q,
         scheme=scheme,

@@ -121,7 +121,12 @@ class RecoveryResult:
 
 
 def _replan(plan, failed: Sequence[Edge], policy: str):
-    """Apply the requested static recovery, returning (plan, policy used)."""
+    """Apply the requested static recovery, returning (plan, policy used).
+
+    Deterministic in its arguments, so ``run_with_recovery`` routes calls
+    through :func:`repro.core.plancache.cached_replan` — fault Monte Carlo
+    ensembles replaying the same failure scenario re-plan once per process.
+    """
     from repro.core.faults import degraded_plan, repaired_plan
 
     if policy == "degraded":
@@ -253,8 +258,10 @@ def run_with_recovery(
             dead_set = set(dead)
             survivors = [i for i in range(len(cur_m)) if i not in dead_set]
 
+            from repro.core.plancache import cached_replan
+
             try:
-                new_plan, used = _replan(cur_plan, failed, policy)
+                new_plan, used = cached_replan(cur_plan, failed, policy, _replan)
             except RecoveryError:
                 if telemetry is not None:
                     telemetry.finish(offset + detect, completed=False)

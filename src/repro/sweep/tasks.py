@@ -67,8 +67,8 @@ def run_cell(c: Cell) -> Any:
 
 def fabric_config_json(q: int, scheme: str = "low-depth") -> str:
     """Per-router fabric configuration JSON for a plan (S31 artifact)."""
-    from repro.core import build_plan
+    from repro.core import get_plan
     from repro.simulator import generate_fabric_config
 
-    plan = build_plan(q, scheme)
+    plan = get_plan(q, scheme)
     return generate_fabric_config(plan.topology, plan.trees).to_json()

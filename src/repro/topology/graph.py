@@ -33,7 +33,7 @@ class Graph:
     constructions treat instances as immutable once built.
     """
 
-    __slots__ = ("n", "_adj", "_edges", "self_loops")
+    __slots__ = ("n", "_adj", "_edges", "self_loops", "_csr", "_ekeys")
 
     def __init__(self, n: int):
         if n < 1:
@@ -42,6 +42,8 @@ class Graph:
         self._adj: List[Set[int]] = [set() for _ in range(n)]
         self._edges: Set[Edge] = set()
         self.self_loops: Set[int] = set()
+        self._csr = None  # cached (indptr, indices) adjacency view
+        self._ekeys = None  # cached sorted canonical edge keys (lo * n + hi)
 
     # ---------------------------------------------------------------- build
 
@@ -61,6 +63,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._edges.add(canonical_edge(u, v))
+        self._csr = self._ekeys = None
 
     def add_self_loop(self, v: int) -> None:
         self._check_vertex(v)
@@ -105,6 +108,7 @@ class Graph:
         for v in np.unique(src).tolist():
             a, b = bounds[v], bounds[v + 1]
             self._adj[v].update(dst[a:b].tolist())
+        self._csr = self._ekeys = None
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self.n:
@@ -126,6 +130,45 @@ class Graph:
         """Neighbor set of ``v`` (copy; self-loops excluded)."""
         self._check_vertex(v)
         return set(self._adj[v])
+
+    def adjacency_arrays(self):
+        """Cached CSR adjacency view ``(indptr, indices)`` with each
+        vertex's neighbors sorted ascending — ``indices[indptr[v]:
+        indptr[v+1]]`` is the sorted neighbor row of ``v``. The arrays are
+        rebuilt lazily after mutation; treat them as read-only.
+        """
+        import numpy as np
+
+        if self._csr is None:
+            degs = np.fromiter(
+                (len(a) for a in self._adj), dtype=np.int64, count=self.n
+            )
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(degs, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            for v, adj in enumerate(self._adj):
+                if adj:
+                    indices[indptr[v]: indptr[v + 1]] = sorted(adj)
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def edge_keys(self):
+        """Cached sorted int64 array of canonical edge keys ``lo * n + hi``
+        — the membership index for vectorized "are these edges physical
+        links?" checks (searchsorted against this array).
+        """
+        import numpy as np
+
+        if self._ekeys is None:
+            m = len(self._edges)
+            keys = np.fromiter(
+                (lo * self.n + hi for lo, hi in self._edges),
+                dtype=np.int64,
+                count=m,
+            )
+            keys.sort()
+            self._ekeys = keys
+        return self._ekeys
 
     def degree(self, v: int) -> int:
         self._check_vertex(v)

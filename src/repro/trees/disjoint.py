@@ -20,7 +20,7 @@ method constructively confirms the paper's claim that the bound
 
 from __future__ import annotations
 
-import math
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,13 +81,21 @@ def max_disjoint_hamiltonian_pairs(q: int) -> List[Pair]:
     For every prime power ``q < 128`` this returns ``floor((q+1)/2)``
     pairs (the Lemma 7.18 bound), constructively proving the Section 7.3
     claim. Deterministic given networkx's matching iteration order; the
-    result is returned sorted.
+    result is returned sorted. The matching is memoized per ``q`` (the
+    same idiom as ``singer_graph``/``polarfly_graph``): the blossom run
+    is a pure function of ``q`` and would otherwise dominate repeat
+    edge-disjoint planning.
     """
+    return list(_max_disjoint_hamiltonian_pairs_cached(q))
+
+
+@lru_cache(maxsize=None)
+def _max_disjoint_hamiltonian_pairs_cached(q: int) -> Tuple[Pair, ...]:
     import networkx as nx
 
     g = hamiltonian_pair_graph(q)
     matching = nx.max_weight_matching(g, maxcardinality=True)
-    return sorted(tuple(sorted(e)) for e in matching)
+    return tuple(sorted(tuple(sorted(e)) for e in matching))
 
 
 def random_maximal_independent_set(q: int, rng: np.random.Generator) -> List[Pair]:

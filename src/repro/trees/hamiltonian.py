@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.topology.singer import singer_difference_set
 from repro.trees.tree import SpanningTree
 from repro.utils.numbertheory import euler_totient, mod_inverse
@@ -81,8 +83,9 @@ def alternating_path(q: int, d0: int, d1: int) -> Tuple[int, ...]:
 
 
 def alternating_path_closed_form(q: int, d0: int, d1: int) -> Tuple[int, ...]:
-    """Same path via the Corollary 7.16 closed form (cross-check of the
-    recurrence).
+    """Same path via the Corollary 7.16 closed form, vectorized — the
+    production generator (:func:`hamiltonian_path_tree` uses it);
+    property-tested equal to the scalar recurrence above.
 
     Erratum: the paper's Corollary 7.16 swaps its parity cases (as printed,
     its odd-``i`` formula gives ``b_1 = d_0 - b_1``, contradicting
@@ -98,13 +101,10 @@ def alternating_path_closed_form(q: int, d0: int, d1: int) -> Tuple[int, ...]:
     k = path_vertex_count(n, d0, d1)
     half = mod_inverse(2, n)
     b1 = (half * d1) % n
-    out = []
-    for i in range(1, k + 1):
-        if i % 2 == 1:
-            out.append(((i - 1) // 2 * (d1 - d0) + b1) % n)
-        else:
-            out.append((i // 2 * d0 - (i - 2) // 2 * d1 - b1) % n)
-    return tuple(out)
+    i = np.arange(1, k + 1, dtype=np.int64)
+    odd = (i - 1) // 2 * (d1 - d0) + b1
+    even = i // 2 * d0 - (i - 2) // 2 * d1 - b1
+    return tuple((np.where(i % 2 == 1, odd, even) % n).tolist())
 
 
 def hamiltonian_pairs(q: int) -> List[Tuple[int, int]]:
@@ -218,5 +218,5 @@ def hamiltonian_path_tree(q: int, d0: int, d1: int, tree_id: Optional[int] = Non
     n, _ = _validate_pair(q, d0, d1)
     if math.gcd(d0 - d1, n) != 1:
         raise ValueError(f"({d0}, {d1}) does not generate a Hamiltonian path on S_{q}")
-    path = alternating_path(q, d0, d1)
+    path = alternating_path_closed_form(q, d0, d1)  # vectorized generator
     return SpanningTree.from_path(path, tree_id=tree_id)

@@ -23,9 +23,10 @@ Guarantees (proved in the paper, asserted by our tests):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
-from repro.topology.graph import canonical_edge
+import numpy as np
+
 from repro.topology.layout import PolarFlyLayout, polarfly_layout
 from repro.trees.tree import SpanningTree
 from repro.utils.errors import ConstructionError
@@ -38,54 +39,76 @@ def low_depth_trees_from_layout(layout: PolarFlyLayout) -> List[SpanningTree]:
 
     Deterministic: neighbor sets are visited in ascending order and the
     ``E_a`` pool pops the smallest eligible edge.
+
+    Levels 1 and 2 run on the graph's CSR adjacency arrays: level 1 is the
+    root's sorted neighbor row; level 2 gathers all level-1 neighbor rows
+    at once and keeps, for each uncovered vertex, its first occurrence —
+    which is exactly the smallest eligible level-1 parent, the same
+    assignment the per-vertex loop makes. Level 3 stays a plain loop (a
+    handful of centers, and the shared ``E_a`` pool mutates sequentially).
     """
     pf = layout.pf
     g = pf.graph
     q = layout.q
     starter = layout.starter
+    n = g.n
+    indptr, indices = g.adjacency_arrays()
 
-    available: Set[Tuple[int, int]] = set(g.edges)  # E_a (line 1)
+    available = set(g.edge_keys().tolist())  # E_a (line 1)
     trees: List[SpanningTree] = []
+
+    # the q cluster centers are the same vertices for every tree; their
+    # sorted neighbor rows and canonical edge keys are loop invariants
+    centers = [layout.center_of(j) for j in range(q)]
+    center_rows = []
+    for vj in centers:
+        row = indices[indptr[vj]: indptr[vj + 1]].tolist()
+        keys = [c * n + vj if c < vj else vj * n + c for c in row]
+        center_rows.append(list(zip(row, keys)))
 
     for i in range(q):
         root = layout.center_of(i)  # line 3
-        parent: Dict[int, int] = {}
-        in_tree = {root}
+        in_tree = np.zeros(n, dtype=bool)
+        in_tree[root] = True
 
-        # Level 1 (lines 4-5): all neighbors of the root.
-        level1 = sorted(g.neighbors(root))
-        for u in level1:
-            parent[u] = root
-            in_tree.add(u)
+        # Level 1 (lines 4-5): all neighbors of the root (sorted CSR row).
+        level1 = indices[indptr[root]: indptr[root + 1]]
+        in_tree[level1] = True
+        parent: Dict[int, int] = dict.fromkeys(level1.tolist(), root)
 
         # Level 2 (lines 6-8): expand level-1 vertices except the starter.
-        for u in level1:
-            if u == starter:
-                continue
-            for z in sorted(g.neighbors(u)):
-                if z not in in_tree:
-                    parent[z] = u
-                    in_tree.add(z)
+        # Gather every level-1 neighbor row (rows are u-ascending, so the
+        # first occurrence of a vertex is its smallest eligible parent).
+        l2src = level1[level1 != starter]
+        cnt = indptr[l2src + 1] - indptr[l2src]
+        reach = indices[
+            np.repeat(indptr[l2src] - (np.cumsum(cnt) - cnt), cnt)
+            + np.arange(int(cnt.sum()))
+        ]
+        uniq, first = np.unique(reach, return_index=True)
+        keep = ~in_tree[uniq]
+        z2 = uniq[keep]
+        p2 = np.repeat(l2src, cnt)[first[keep]]
+        in_tree[z2] = True
+        parent.update(zip(z2.tolist(), p2.tolist()))
 
         # Level 3 (lines 9-12): attach the other centers via E_a.
         for j in range(q):
             if j == i:
                 continue
-            vj = layout.center_of(j)
-            if vj in in_tree:  # pragma: no cover - centers are never covered earlier
+            vj = centers[j]
+            if in_tree[vj]:  # pragma: no cover - centers are never covered earlier
                 continue
-            candidates = sorted(
-                u for u in g.neighbors(vj)
-                if u in in_tree and canonical_edge(u, vj) in available
-            )
-            if not candidates:  # pragma: no cover - Theorem 7.4 rules this out
+            for u, key in center_rows[j]:  # neighbors ascending
+                if key in available and in_tree[u]:
+                    break
+            else:  # pragma: no cover - Theorem 7.4 rules this out
                 raise ConstructionError(
                     f"E_a exhausted for center {vj} while building T_{i}"
                 )
-            u = candidates[0]
             parent[vj] = u
-            in_tree.add(vj)
-            available.discard(canonical_edge(u, vj))  # line 12
+            in_tree[vj] = True
+            available.discard(key)  # line 12
 
         tree = SpanningTree(root, parent, tree_id=i)
         tree.validate(g)

@@ -75,11 +75,14 @@ def profile_pipeline(q: int, scheme: str = "low-depth") -> StageTimer:
     from repro.topology.polarfly import PolarFly, polarfly_graph
     from repro.topology.singer import SingerGraph, singer_difference_set, singer_graph
 
+    from repro.trees.disjoint import _max_disjoint_hamiltonian_pairs_cached
+
     get_field.cache_clear()
     polarfly_graph.cache_clear()
     singer_graph.cache_clear()
     singer_difference_set.cache_clear()
     polarfly_layout.cache_clear()
+    _max_disjoint_hamiltonian_pairs_cached.cache_clear()
 
     timer = StageTimer()
     if scheme in ("low-depth", "low-depth-even", "single"):

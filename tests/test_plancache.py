@@ -1,0 +1,209 @@
+"""Tests for the process-wide plan cache (repro.core.plancache)."""
+
+import pickle
+
+import pytest
+
+from repro.core.plan import build_plan
+from repro.core.plancache import (
+    PlanCache,
+    cached_replan,
+    get_plan,
+    global_plan_cache,
+    plan_fingerprint,
+    plan_key,
+    reset_global_plan_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_cache():
+    reset_global_plan_cache()
+    yield
+    reset_global_plan_cache()
+
+
+class TestPlanKey:
+    def test_stable_and_spec_sensitive(self):
+        k = plan_key(7, "low-depth")
+        assert k == plan_key(7, "low-depth")
+        assert k != plan_key(7, "edge-disjoint")
+        assert k != plan_key(9, "low-depth-even")
+        assert k != plan_key(7, "low-depth", link_bandwidth=2)
+        assert k != plan_key(7, "low-depth", starter=0)
+        assert k != plan_key(7, "low-depth", max_trees=2)
+
+    def test_equivalent_bandwidth_spellings_alias(self):
+        from fractions import Fraction
+
+        assert plan_key(7, link_bandwidth=1) == plan_key(
+            7, link_bandwidth=Fraction(2, 2)
+        )
+
+    def test_version_salt_invalidates(self):
+        assert plan_key(7, salt="1.0.0") != plan_key(7, salt="1.0.1")
+
+
+class TestMemoryLayer:
+    def test_get_plan_constructs_once_and_shares(self):
+        c = PlanCache()
+        p1 = c.get_plan(7)
+        p2 = c.get_plan(7)
+        assert p1 is p2
+        assert c.hits == 1 and c.misses == 1
+
+    def test_matches_build_plan_exactly(self):
+        p = PlanCache().get_plan(5, "edge-disjoint")
+        ref = build_plan(5, "edge-disjoint")
+        assert p.bandwidths == ref.bandwidths
+        assert [t.edges for t in p.trees] == [t.edges for t in ref.trees]
+        assert p.partition(30) == ref.partition(30)
+
+    def test_lru_eviction(self):
+        c = PlanCache(capacity=2)
+        c.get_plan(3)
+        c.get_plan(4, "low-depth-even")
+        c.get_plan(3)  # touch: 3 becomes most recent
+        c.get_plan(5)  # evicts 4
+        misses = c.misses
+        c.get_plan(3)  # still resident
+        assert c.misses == misses
+        c.get_plan(4, "low-depth-even")  # was evicted -> rebuild
+        assert c.misses == misses + 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestDiskLayer:
+    def test_roundtrip_across_instances(self, tmp_path):
+        c1 = PlanCache(root=tmp_path)
+        key = c1.key(3)
+        c1.put(key, build_plan(3))
+        c2 = PlanCache(root=tmp_path)
+        hit, plan = c2.get(key)
+        assert hit and plan.q == 3
+        assert plan.bandwidths == build_plan(3).bandwidths
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        c = PlanCache(root=tmp_path)
+        key = c.key(3)
+        c.put(key, build_plan(3))
+        path = c.path(key)
+        path.write_bytes(b"not a pickle")
+        c2 = PlanCache(root=tmp_path)
+        hit, _ = c2.get(key)
+        assert not hit and c2.corrupt == 1
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        c = PlanCache(root=tmp_path)
+        key = c.key(3)
+        c.path(key).parent.mkdir(parents=True, exist_ok=True)
+        c.path(key).write_bytes(
+            pickle.dumps({"key": "someone-else", "value": build_plan(3)})
+        )
+        hit, _ = c.get(key)
+        assert not hit and c.corrupt == 1
+
+    def test_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path))
+        c = PlanCache()
+        assert c.root == tmp_path
+        c.get_plan(3)
+        assert c.path(c.key(3)).exists()
+
+    def test_no_disk_without_opt_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+        c = PlanCache()
+        assert c.root is None and c.path("ab" * 32) is None
+
+    def test_clear(self, tmp_path):
+        c = PlanCache(root=tmp_path)
+        c.get_plan(3)
+        c.get_plan(4, "low-depth-even")
+        assert c.clear() == 2
+        assert c.stats()["memory_entries"] == 0
+
+
+class TestGlobalCache:
+    def test_module_level_get_plan(self):
+        p1 = get_plan(7)
+        p2 = get_plan(7)
+        assert p1 is p2
+        stats = global_plan_cache().stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_reset_forgets(self):
+        p1 = get_plan(7)
+        reset_global_plan_cache()
+        assert get_plan(7) is not p1
+
+
+class TestReplanMemo:
+    def test_replan_called_once_per_scenario(self):
+        from repro.analysis.recovery import used_links
+
+        plan = build_plan(5, "edge-disjoint")
+        edge = used_links(plan)[0]
+        calls = []
+
+        def replan(p, failed, policy):
+            calls.append((tuple(failed), policy))
+            return p, policy
+
+        r1 = cached_replan(plan, [edge], "degraded", replan)
+        r2 = cached_replan(plan, [edge], "degraded", replan)
+        assert r1 is r2
+        assert len(calls) == 1
+        cached_replan(plan, [edge], "repaired", replan)
+        assert len(calls) == 2  # different policy: distinct scenario
+
+    def test_failure_order_is_canonical(self):
+        plan = build_plan(5, "edge-disjoint")
+        from repro.analysis.recovery import used_links
+
+        e1, e2 = used_links(plan)[:2]
+        calls = []
+
+        def replan(p, failed, policy):
+            calls.append(1)
+            return p, policy
+
+        cached_replan(plan, [e1, e2], "auto", replan)
+        cached_replan(plan, [e2, e1], "auto", replan)
+        assert len(calls) == 1
+
+    def test_exceptions_not_memoized(self):
+        plan = build_plan(3)
+        calls = []
+
+        def replan(p, failed, policy):
+            calls.append(1)
+            raise RuntimeError("impossible")
+
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                cached_replan(plan, [(0, 1)], "auto", replan)
+        assert len(calls) == 2
+
+    def test_fingerprint_distinguishes_plans(self):
+        p_ld = build_plan(7, "low-depth")
+        p_ed = build_plan(7, "edge-disjoint")
+        assert plan_fingerprint(p_ld) != plan_fingerprint(p_ed)
+        assert plan_fingerprint(p_ld) == plan_fingerprint(p_ld)
+
+    def test_recovery_path_uses_memo(self):
+        # two identical recovery runs must agree bit-for-bit (the second
+        # hitting the memoized re-plan)
+        from repro.analysis.recovery import used_links
+        from repro.simulator import FaultSchedule, run_with_recovery
+
+        plan = build_plan(5, "edge-disjoint")
+        edge = used_links(plan)[0]
+        faults = FaultSchedule.single(edge, 10)
+        r1 = run_with_recovery(plan, 60, faults, policy="auto")
+        r2 = run_with_recovery(plan, 60, faults, policy="auto")
+        assert r1.total_cycles == r2.total_cycles
+        assert r1.final_num_trees == r2.final_num_trees
+        assert len(r1.episodes) == len(r2.episodes) == 1

@@ -1,0 +1,162 @@
+"""Differential testing: the scaled-integer planner vs the Fraction references.
+
+Algorithm 1 (progressive filling) and both partition routines were
+rewritten on common-denominator scaled integers; the exact-``Fraction``
+implementations were retained as references (``_progressive_fill_reference``,
+``_optimal_partition_reference``, ``_latency_aware_partition_reference``).
+The rewrite's contract is *bit-identical* output — same ``Fraction``
+values, same bottleneck trace, same tie-breaks — so these suites compare
+the two implementations exhaustively:
+
+- hypothesis differentials on random embeddings (named topologies plus
+  seeded random spanning trees, random rational link bandwidths, random
+  per-link overrides) and on random partition workloads;
+- every valid ``(q, scheme)`` cell up to ``q = 31``, on the real
+  constructions.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import (
+    _latency_aware_partition_reference,
+    _optimal_partition_reference,
+    _progressive_fill_reference,
+    _progressive_fill_scaled,
+    latency_aware_partition,
+    optimal_partition,
+    tree_bandwidths,
+)
+from repro.core.plan import build_plan
+
+from tests.strategies import random_embedding, seeds, topology_names
+
+#: every prime power up to 31 — the full radix range the differential
+#: cells cover (ISSUE acceptance: all (q, scheme) cells up to q=31)
+PRIME_POWERS = (3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31)
+
+
+def _schemes(q: int):
+    yield "low-depth" if q % 2 == 1 else "low-depth-even"
+    yield "edge-disjoint"
+    yield "single"
+
+
+ALL_CELLS = [(q, s) for q in PRIME_POWERS for s in _schemes(q)]
+
+
+def fractions(max_num: int = 12, max_den: int = 7):
+    return st.builds(
+        Fraction,
+        st.integers(min_value=1, max_value=max_num),
+        st.integers(min_value=1, max_value=max_den),
+    )
+
+
+class TestFillDifferential:
+    @given(
+        name=topology_names(),
+        k=st.integers(min_value=1, max_value=5),
+        seed=seeds(),
+        bw=fractions(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_embeddings(self, name, k, seed, bw):
+        g, trees = random_embedding(name, k, seed)
+        ref_bw, ref_trace = _progressive_fill_reference(g, trees, bw, None)
+        new_bw, new_trace = _progressive_fill_scaled(g, trees, bw, None)
+        assert new_bw == ref_bw
+        assert new_trace == ref_trace
+        assert all(isinstance(b, Fraction) for b in new_bw)
+
+    @given(
+        name=topology_names(),
+        k=st.integers(min_value=1, max_value=4),
+        seed=seeds(),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_link_overrides(self, name, k, seed, data):
+        g, trees = random_embedding(name, k, seed)
+        used = sorted({e for t in trees for e in t.edges})
+        picks = data.draw(
+            st.lists(st.sampled_from(used), max_size=min(6, len(used)), unique=True)
+        )
+        overrides = {e: data.draw(fractions()) for e in picks}
+        ref = _progressive_fill_reference(g, trees, 1, overrides)
+        new = _progressive_fill_scaled(g, trees, 1, overrides)
+        assert new == ref
+
+    def test_duplicate_trees_share_links(self):
+        # identical trees maximize congestion (every link at congestion k)
+        g, trees = random_embedding("pf3", 1, 7)
+        dup = [trees[0]] * 3
+        ref = _progressive_fill_reference(g, dup, Fraction(3, 2), None)
+        new = _progressive_fill_scaled(g, dup, Fraction(3, 2), None)
+        assert new == ref
+
+
+class TestPartitionDifferential:
+    @given(
+        m=st.integers(min_value=0, max_value=500),
+        bws=st.lists(fractions(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_partition(self, m, bws):
+        assert optimal_partition(m, bws) == _optimal_partition_reference(m, bws)
+
+    @given(
+        m=st.integers(min_value=0, max_value=500),
+        rows=st.lists(
+            st.tuples(
+                st.one_of(st.just(Fraction(0)), fractions()),  # bandwidth
+                st.one_of(st.just(Fraction(0)), fractions(max_num=9)),  # latency
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_aware_partition(self, m, rows):
+        bws = [b for b, _ in rows]
+        lats = [l for _, l in rows]
+        if sum(bws, Fraction(0)) == 0:
+            with pytest.raises(ValueError):
+                latency_aware_partition(m, bws, lats)
+            return
+        assert latency_aware_partition(m, bws, lats) == (
+            _latency_aware_partition_reference(m, bws, lats)
+        )
+
+
+class TestAllCells:
+    """Every valid (q, scheme) cell up to q=31: the production dispatcher
+    (scaled integers) must agree exactly with the retained reference on
+    the paper's real constructions."""
+
+    @pytest.mark.parametrize("q,scheme", ALL_CELLS, ids=lambda c: str(c))
+    def test_cell_fill_matches_reference(self, q, scheme):
+        plan = build_plan(q, scheme)
+        g, trees = plan.topology, list(plan.trees)
+        ref_bw, ref_trace = _progressive_fill_reference(g, trees, 1, None)
+        assert list(plan.bandwidths) == ref_bw
+        new_bw, new_trace = _progressive_fill_scaled(g, trees, 1, None)
+        assert new_bw == ref_bw
+        assert new_trace == ref_trace
+
+    @pytest.mark.parametrize("q", (19, 31))
+    def test_cell_partitions_match_reference(self, q):
+        plan = build_plan(q, "low-depth")
+        for m in (0, 1, 360, 12345):
+            assert plan.partition(m) == _optimal_partition_reference(
+                m, plan.bandwidths
+            )
+
+    def test_dispatcher_used_by_tree_bandwidths(self):
+        plan = build_plan(7, "low-depth")
+        assert tree_bandwidths(plan.topology, list(plan.trees)) == list(
+            plan.bandwidths
+        )

@@ -122,6 +122,29 @@ class TestValidation:
         with pytest.raises(ConstructionError):
             t.validate(g)
 
+    def test_validate_memo_is_per_graph_identity(self):
+        # a clean validation is memoized against that Graph object only:
+        # the same tree revalidated against a *different* graph (where one
+        # of its edges is not a physical link) must still raise
+        g_ok = Graph.from_edges(3, [(0, 1), (0, 2)])
+        g_bad = Graph.from_edges(3, [(0, 1), (1, 2)])
+        t = SpanningTree(0, {1: 0, 2: 0})
+        t.validate(g_ok)
+        t.validate(g_ok)  # memoized re-validation stays clean
+        with pytest.raises(ConstructionError):
+            t.validate(g_bad)
+
+    def test_failed_validation_is_not_memoized(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        t = SpanningTree(0, {1: 0, 2: 0})
+        for _ in range(2):  # still raises on every retry
+            with pytest.raises(ConstructionError):
+                t.validate(g)
+
+    def test_cycle_detected_at_construction(self):
+        with pytest.raises(ConstructionError):
+            SpanningTree(0, {1: 2, 2: 1, 3: 0})
+
 
 class TestCongestion:
     def test_disjoint_trees(self):
