@@ -80,6 +80,13 @@ from repro.analysis.telemetry import (
     telemetry_data,
     telemetry_row,
 )
+from repro.analysis.tenancy import (
+    fairness_data,
+    render_fairness,
+    render_tenancy_ablation,
+    tenancy_ablation,
+    tenancy_row,
+)
 
 __all__ = [
     "CrossoverPoint",
@@ -141,6 +148,11 @@ __all__ = [
     "telemetry_cells",
     "telemetry_data",
     "render_telemetry",
+    "tenancy_row",
+    "fairness_data",
+    "render_fairness",
+    "tenancy_ablation",
+    "render_tenancy_ablation",
     "NetworkPoint",
     "radix_comparison",
     "render_radix_comparison",

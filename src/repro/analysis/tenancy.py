@@ -1,0 +1,206 @@
+"""E-A17 — multi-tenant fairness and tail-latency table.
+
+For a seeded Poisson job mix placed on one shared PolarFly,
+:func:`tenancy_row` runs the shared-fabric engine under one arbitration
+policy and reports each tenant's slowdown versus its *isolated* baseline
+(the same trees and flit partition run solo — cycle-exact, so the
+slowdown is pure contention). :func:`fairness_data` sweeps the policies
+over the identical mix (same seed, same placement) to produce the
+p50/p99 fairness table, and :func:`tenancy_ablation` crosses placement
+mode (``shared`` = maximal link overlap vs ``partitioned`` = disjoint
+tree blocks) with policy — the congestion-vs-isolation ablation.
+
+Every row is deterministic: the job mix comes from
+``numpy.random.default_rng(seed)`` only, placement and both fabric
+engines are deterministic, and the solo baselines are the bit-identical
+single-job engines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.engine import make_engine
+from repro.tenancy.fabric import POLICIES, FabricSimulator
+from repro.tenancy.jobs import poisson_jobs
+from repro.tenancy.placement import PLACEMENT_MODES, place_jobs
+
+__all__ = [
+    "tenancy_row",
+    "fairness_data",
+    "render_fairness",
+    "tenancy_ablation",
+    "render_tenancy_ablation",
+]
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    s = sorted(values)
+    idx = min(len(s) - 1, max(0, math.ceil(p / 100.0 * len(s)) - 1))
+    return s[idx]
+
+
+def tenancy_row(
+    q: int,
+    k: int = 4,
+    scheme: str = "low-depth",
+    mode: str = "shared",
+    policy: str = "fair-share",
+    seed: int = 0,
+    mean_interarrival: float = 16.0,
+    mean_m: float = 32.0,
+    tree_count_choices: Sequence[int] = (1, 2, 3),
+    link_capacity: int = 1,
+    buffer_size: Optional[int] = 2,
+    engine: str = "fast",
+) -> Dict[str, Any]:
+    """One fabric run of a seeded Poisson job mix → per-tenant metrics.
+
+    Registered as the ``tenancy_row`` sweep task; the return value is a
+    plain JSON-able dict. Per-tenant ``slowdown`` is
+    ``local_cycles / solo_cycles`` where ``solo_cycles`` is the tenant's
+    isolated run over its exact placement (same trees, same flits).
+    """
+    rng = np.random.default_rng(seed)
+    jobs = poisson_jobs(
+        k,
+        rng=rng,
+        mean_interarrival=mean_interarrival,
+        mean_m=mean_m,
+        tree_count_choices=tree_count_choices,
+    )
+    plan = place_jobs(q, jobs, scheme, mode=mode)
+    stats = FabricSimulator(
+        plan, link_capacity, buffer_size, policy=policy, engine=engine
+    ).run()
+
+    tenants: List[Dict[str, Any]] = []
+    slowdowns: List[float] = []
+    for outcome, p in zip(stats.outcomes, plan.placements):
+        solo = make_engine(
+            engine,
+            plan.topology,
+            [plan.trees[i] for i in p.tree_ids],
+            list(p.flits),
+            link_capacity,
+            buffer_size,
+        ).run()
+        slowdown = (
+            outcome.local_cycles / solo.cycles
+            if outcome.status == "completed" and solo.cycles
+            else 0.0
+        )
+        if outcome.status == "completed":
+            slowdowns.append(slowdown)
+        tenants.append(
+            {
+                "tenant": outcome.tenant,
+                "arrival": outcome.arrival,
+                "m": p.job.m,
+                "tree_count": p.job.tree_count,
+                "status": outcome.status,
+                "local_cycles": outcome.local_cycles,
+                "global_cycle": outcome.global_cycle,
+                "solo_cycles": solo.cycles,
+                "slowdown": slowdown,
+                "blocked_cycles": outcome.blocked_cycles,
+                "flits_moved": outcome.flits_moved,
+            }
+        )
+    return {
+        "q": q,
+        "k": k,
+        "scheme": scheme,
+        "mode": mode,
+        "policy": policy,
+        "seed": seed,
+        "engine": engine,
+        "cycles": stats.cycles,
+        "completed": sum(1 for t in tenants if t["status"] == "completed"),
+        "stalled": sum(1 for t in tenants if t["status"] == "stalled"),
+        "p50_slowdown": _percentile(slowdowns, 50),
+        "p99_slowdown": _percentile(slowdowns, 99),
+        "max_slowdown": max(slowdowns) if slowdowns else 0.0,
+        "mean_slowdown": (
+            sum(slowdowns) / len(slowdowns) if slowdowns else 0.0
+        ),
+        "tenants": tenants,
+    }
+
+
+def fairness_data(
+    q: int,
+    k: int = 4,
+    scheme: str = "low-depth",
+    mode: str = "shared",
+    seed: int = 0,
+    policies: Sequence[str] = POLICIES,
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
+    """One :func:`tenancy_row` per policy over the *identical* job mix."""
+    return [
+        tenancy_row(q, k, scheme, mode, policy, seed, **kwargs)
+        for policy in policies
+    ]
+
+
+def render_fairness(rows: Sequence[Dict[str, Any]]) -> str:
+    """ASCII fairness/tail-latency table (one row per policy)."""
+    lines = [
+        f"E-A17 fairness/tail latency: q={rows[0]['q']} k={rows[0]['k']} "
+        f"scheme={rows[0]['scheme']} mode={rows[0]['mode']} "
+        f"seed={rows[0]['seed']}",
+        f"{'policy':<16} {'done':>4} {'stall':>5} {'p50':>6} {'p99':>6} "
+        f"{'max':>6} {'mean':>6} {'cycles':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['policy']:<16} {r['completed']:>4} {r['stalled']:>5} "
+            f"{r['p50_slowdown']:>6.2f} {r['p99_slowdown']:>6.2f} "
+            f"{r['max_slowdown']:>6.2f} {r['mean_slowdown']:>6.2f} "
+            f"{r['cycles']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def tenancy_ablation(
+    q: int,
+    k: int = 2,
+    scheme: str = "edge-disjoint",
+    seed: int = 0,
+    policies: Sequence[str] = POLICIES,
+    modes: Sequence[str] = PLACEMENT_MODES,
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
+    """Congestion-vs-isolation ablation: mode × policy grid over one
+    seeded Poisson mix (``partitioned`` needs the mix to fit the tree
+    pool, hence the edge-disjoint default and small ``k``)."""
+    kwargs.setdefault("tree_count_choices", (1,))
+    return [
+        tenancy_row(q, k, scheme, mode, policy, seed, **kwargs)
+        for mode in modes
+        for policy in policies
+    ]
+
+
+def render_tenancy_ablation(rows: Sequence[Dict[str, Any]]) -> str:
+    """ASCII mode × policy ablation table."""
+    lines = [
+        f"E-A17 congestion vs isolation: q={rows[0]['q']} k={rows[0]['k']} "
+        f"scheme={rows[0]['scheme']} seed={rows[0]['seed']}",
+        f"{'mode':<12} {'policy':<16} {'p50':>6} {'p99':>6} {'mean':>6} "
+        f"{'cycles':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['mode']:<12} {r['policy']:<16} {r['p50_slowdown']:>6.2f} "
+            f"{r['p99_slowdown']:>6.2f} {r['mean_slowdown']:>6.2f} "
+            f"{r['cycles']:>7}"
+        )
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ Commands
 ``telemetry Q``     instrumented run: hot links, queue peaks, JSONL trace
 ``report``          regenerate every paper table/figure as text
 ``sweep``           parallel, cache-backed artifact regeneration
+``tenants Q``       K concurrent tenants on one fabric: fairness table
 ``export Q``        emit DOT/GraphML for the topology or an embedding
 """
 
@@ -195,6 +196,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print cache statistics and exit")
     s.add_argument("--clear-cache", action="store_true",
                    help="delete every cache entry and exit")
+
+    s = sub.add_parser(
+        "tenants",
+        help="multi-tenant shared-fabric run: fairness/tail-latency table",
+        description="Sample a seeded Poisson job mix, place it on one shared "
+        "PolarFly (per-switch reduction slots and per-link budgets "
+        "permitting) and run all tenants concurrently under each "
+        "arbitration policy; prints per-tenant slowdowns versus the "
+        "isolated baseline and the p50/p99 fairness table. --ablate adds "
+        "the congestion-vs-isolation placement-mode grid.",
+    )
+    s.add_argument("q", type=int)
+    s.add_argument("--scheme", default="low-depth",
+                   choices=("low-depth", "edge-disjoint", "single"))
+    s.add_argument("-k", "--tenants", type=int, default=4, dest="k",
+                   help="number of tenant jobs (default 4)")
+    s.add_argument("--mode", default="shared",
+                   choices=("shared", "partitioned"),
+                   help="placement: shared trees (congestion) vs disjoint "
+                        "tree blocks (isolation)")
+    s.add_argument("--policy", default=None,
+                   choices=("fair-share", "strict-priority", "isolated-slice"),
+                   help="single arbitration policy (default: all three)")
+    s.add_argument("--seed", type=int, default=0, help="job-mix seed (default 0)")
+    s.add_argument("--mean-interarrival", type=float, default=16.0,
+                   help="Poisson mean inter-arrival gap in cycles (default 16)")
+    s.add_argument("--mean-m", type=float, default=32.0,
+                   help="geometric mean message size in elements (default 32)")
+    s.add_argument("--engine", default="fast", choices=("fast", "reference"),
+                   help="per-tenant cycle engine (bit-identical)")
+    s.add_argument("--buffer", type=int, default=2, metavar="SLOTS",
+                   help="per-flow credit buffer slots (default 2)")
+    s.add_argument("--capacity", type=int, default=1,
+                   help="link capacity in flits/cycle")
+    s.add_argument("--ablate", action="store_true",
+                   help="also print the congestion-vs-isolation "
+                        "mode-by-policy ablation")
 
     s = sub.add_parser("config", help="emit per-router fabric configuration JSON")
     s.add_argument("q", type=int)
@@ -506,6 +544,58 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_tenants(args) -> int:
+    from repro.analysis.tenancy import (
+        fairness_data,
+        render_fairness,
+        render_tenancy_ablation,
+        tenancy_ablation,
+    )
+    from repro.tenancy import POLICIES
+
+    policies = (args.policy,) if args.policy else POLICIES
+    rows = fairness_data(
+        args.q,
+        args.k,
+        args.scheme,
+        args.mode,
+        args.seed,
+        policies=policies,
+        mean_interarrival=args.mean_interarrival,
+        mean_m=args.mean_m,
+        link_capacity=args.capacity,
+        buffer_size=args.buffer,
+        engine=args.engine,
+    )
+    print(render_fairness(rows))
+    print()
+    print(f"{'tenant':>6} {'arrive':>6} {'m':>5} {'trees':>5} "
+          f"{'policy':<16} {'status':<9} {'local':>6} {'solo':>5} "
+          f"{'slow':>6} {'blocked':>7}")
+    for r in rows:
+        for t in r["tenants"]:
+            print(f"{t['tenant']:>6} {t['arrival']:>6} {t['m']:>5} "
+                  f"{t['tree_count']:>5} {r['policy']:<16} "
+                  f"{t['status']:<9} {t['local_cycles']:>6} "
+                  f"{t['solo_cycles']:>5} {t['slowdown']:>6.2f} "
+                  f"{t['blocked_cycles']:>7}")
+    if args.ablate:
+        scheme = args.scheme if args.scheme != "single" else "edge-disjoint"
+        ab = tenancy_ablation(
+            args.q,
+            min(args.k, 2),
+            "edge-disjoint" if scheme == "low-depth" else scheme,
+            args.seed,
+            policies=policies,
+            link_capacity=args.capacity,
+            buffer_size=args.buffer,
+            engine=args.engine,
+        )
+        print()
+        print(render_tenancy_ablation(ab))
+    return 0
+
+
 def _cmd_config(args) -> int:
     from repro.core import get_plan
     from repro.simulator import generate_fabric_config
@@ -529,6 +619,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "tenants": _cmd_tenants,
     "config": _cmd_config,
     "export": _cmd_export,
 }

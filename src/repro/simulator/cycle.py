@@ -461,6 +461,28 @@ class CycleSimulator:
             self.cycle = self._kern.cycle
             self.flits_moved = self._kern.flits_moved
             return moved
+        return self.finish_cycle(self.begin_cycle())
+
+    # ------------------------------------------------- two-phase stepping
+
+    def begin_cycle(self) -> Dict[Tuple[int, int], Optional[Dict[int, int]]]:
+        """Phases 1–2 of one cycle: advance the clock, land last cycle's
+        in-flight flits, and compute each channel's per-flow budgets from
+        the start-of-cycle snapshot (credits are computed against
+        start-of-cycle sent counters so credit return takes a full cycle,
+        like a real credit loop).  A down channel maps to ``None`` — it
+        grants nothing and its pointer holds still.
+
+        This is the reference half of the two-phase stepping API the
+        multi-tenant fabric (:mod:`repro.tenancy.fabric`) drives; see
+        :meth:`FastCycleSimulator.begin_cycle`.  ``step()`` is exactly
+        ``finish_cycle(begin_cycle())``.  Requires ``kernel="python"``.
+        """
+        if self._kern is not None:
+            raise RuntimeError(
+                "two-phase stepping requires kernel='python' "
+                "(delegated kernels cannot pause mid-cycle)"
+            )
         self.cycle += 1
         dead = (
             self.faults.down_edges_at(self.cycle)
@@ -476,23 +498,46 @@ class CycleSimulator:
                 self.bc_delivered[fl.tree][fl.dst] += cnt
         self._landing = []
 
-        # 2. arbitrate each channel from the cycle-start snapshot (credits
-        # are computed against start-of-cycle sent counters so credit
-        # return takes a full cycle, like a real credit loop)
+        # 2. per-channel budgets from the cycle-start snapshot.  Within a
+        # cycle only `sent` counters of already-arbitrated channels change,
+        # and every flow lives on exactly one channel, so hoisting the
+        # budget computation ahead of the arbitration loop is
+        # behavior-identical to computing it per channel in the loop.
         self._sent_snap = [f.sent for f in self.flows]
-        moved = 0
+        budgets: Dict[Tuple[int, int], Optional[Dict[int, int]]] = {}
         for ch, fids in self.channel_flows.items():
             if dead and canonical_edge(*ch) in dead:
                 # a down link grants nothing and its pointers hold still —
                 # exactly as if every flow on the channel had zero budget
+                budgets[ch] = None
                 continue
-            budget = {
+            budgets[ch] = {
                 fid: min(
                     self._eligible(self.flows[fid]),
                     self._credit(fid),
                 )
                 for fid in fids
             }
+        return budgets
+
+    def finish_cycle(
+        self,
+        budgets: Dict[Tuple[int, int], Optional[Dict[int, int]]],
+        blocked: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Phase 3 of one cycle: round-robin arbitration against the
+        :meth:`begin_cycle` budgets.  ``blocked`` lists channel indices
+        (into :meth:`channels`) gated off this cycle — same semantics as a
+        down link.  Returns the number of flits transferred."""
+        blocked_chs = set()
+        if blocked:
+            chs = list(self.channel_flows)
+            blocked_chs = {chs[i] for i in blocked}
+        moved = 0
+        for ch, fids in self.channel_flows.items():
+            budget = budgets[ch]
+            if budget is None or ch in blocked_chs:
+                continue
             slots = self.capacity
             start = self._rr[ch]
             k = len(fids)
@@ -517,6 +562,17 @@ class CycleSimulator:
                 moved += cnt
         self.flits_moved += moved
         return moved
+
+    def channel_demand(
+        self, budgets: Dict[Tuple[int, int], Optional[Dict[int, int]]]
+    ) -> List[int]:
+        """Per-channel count of flows with a positive budget (aligned with
+        :meth:`channels`) — the fabric arbiter's work-conservation view."""
+        out = []
+        for ch in self.channel_flows:
+            b = budgets[ch]
+            out.append(0 if b is None else sum(1 for v in b.values() if v > 0))
+        return out
 
     def run(self, max_cycles: Optional[int] = None) -> CycleStats:
         """Run to completion of all trees; raises :class:`SimulationStalled`

@@ -257,6 +257,11 @@ class FastCycleSimulator:
         self._gr_slot = np.asarray(gr_slot, dtype=np.int64)
         self._gr_ch = np.asarray(gr_ch, dtype=np.int64)
         self._ch_off = np.asarray(ch_off, dtype=np.int64)
+        # flow -> channel index (each flow lives on exactly one channel);
+        # the two-phase stepping API gates whole channels through this map
+        self._flow_ch = np.zeros(F, dtype=np.int64)
+        if F:
+            self._flow_ch[self._gr_fid] = self._gr_ch
         # padded (channel x slot) matrix for the general-capacity path
         K = int(self._ch_k.max()) if C else 1
         self._ch_fid = np.zeros((C, K), dtype=np.int64)
@@ -333,6 +338,31 @@ class FastCycleSimulator:
         """Advance one cycle; returns the number of flits transferred."""
         if self._kstep is not None:
             return self._kstep(self)
+        return self.finish_cycle(self.begin_cycle())
+
+    # ------------------------------------------------- two-phase stepping
+
+    def begin_cycle(self) -> Optional[np.ndarray]:
+        """Phases 1–2 of one cycle: advance the clock, land last cycle's
+        in-flight flits, and compute the per-flow budget vector from the
+        start-of-cycle snapshot.
+
+        Together with :meth:`finish_cycle` this is the two-phase stepping
+        API the multi-tenant fabric (:mod:`repro.tenancy.fabric`) drives:
+        an external arbiter inspects the budgets of *every* tenant engine
+        mid-cycle, decides which shared channels each may use, and then
+        completes each engine's cycle with the losers gated.  ``step()``
+        is exactly ``finish_cycle(begin_cycle())``, so ungated two-phase
+        stepping is bit-identical to the plain path by construction.
+        Returns ``None`` when the engine has no flows (the fabric treats
+        that as an all-zero budget).  Requires the Python kernel path —
+        fused kernels step whole cycles and cannot pause mid-cycle.
+        """
+        if self._kstep is not None:
+            raise RuntimeError(
+                "two-phase stepping requires kernel='python' "
+                "(fused kernels cannot pause mid-cycle)"
+            )
         self.cycle += 1
         if self.faults is not None:
             self._refresh_fault_mask()
@@ -341,7 +371,7 @@ class FastCycleSimulator:
             self._flat[self._land_idx[self._pending_fids]] += self._pending_cnt
             self._pending_fids = np.zeros(0, dtype=np.int64)
         if self._F == 0:
-            return 0
+            return None
         self._refresh_agg()
 
         # 2. per-flow budgets from the start-of-cycle snapshot
@@ -367,11 +397,39 @@ class FastCycleSimulator:
             # and credit state keep evolving underneath (the leap engine
             # observes the raw components, so its bounds stay conservative)
             budget = np.where(self._dead_mask, 0, budget)
+        return budget
+
+    def finish_cycle(
+        self,
+        budget: Optional[np.ndarray],
+        blocked: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Phase 3 of one cycle: arbitrate and send against ``budget`` (a
+        :meth:`begin_cycle` result).  ``blocked`` is an optional list of
+        channel indices (into :meth:`channels`) whose flows arbitrate with
+        zero budget this cycle — identical semantics to a down link: the
+        channel grants nothing and its round-robin pointer holds still.
+        Returns the number of flits transferred."""
+        if budget is None:
+            return 0
+        if blocked is not None and len(blocked):
+            mask_ch = np.zeros(self._C, dtype=bool)
+            mask_ch[np.asarray(blocked, dtype=np.int64)] = True
+            budget = np.where(mask_ch[self._flow_ch], 0, budget)
 
         # 3. arbitration
         if self.capacity == 1:
             return self._arbitrate_single(budget)
         return self._arbitrate_general(budget)
+
+    def channel_demand(self, budget: Optional[np.ndarray]) -> np.ndarray:
+        """Per-channel count of flows with a positive budget (aligned with
+        :meth:`channels`) — what the fabric's arbitration policies read to
+        stay work-conserving."""
+        out = np.zeros(self._C, dtype=np.int64)
+        if budget is not None and self._F:
+            np.add.at(out, self._gr_ch, (budget[self._gr_fid] > 0).astype(np.int64))
+        return out
 
     def _observe_budgets(
         self,

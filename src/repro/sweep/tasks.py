@@ -36,6 +36,7 @@ BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
     "radix_points": "repro.analysis.radix_efficiency:radix_comparison",
     "recovery_row": "repro.analysis.recovery:recovery_row",
     "telemetry_row": "repro.analysis.telemetry:telemetry_row",
+    "tenancy_row": "repro.analysis.tenancy:tenancy_row",
     "fabric_config": "repro.sweep.tasks:fabric_config_json",
     "sim_point": "repro.analysis.simgrid:sim_point",
 }

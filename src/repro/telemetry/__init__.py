@@ -15,6 +15,7 @@ exactly. See ``docs/API.md`` for the schema table.
 """
 
 from repro.telemetry.collector import Collector, CounterSet, Probe
+from repro.telemetry.tenancy import TenantCounters, fabric_counters
 from repro.telemetry.writer import (
     SCHEMA_VERSION,
     LegTelemetry,
@@ -33,7 +34,9 @@ __all__ = [
     "LegTelemetry",
     "TelemetryRun",
     "TelemetryWriter",
+    "TenantCounters",
     "dumps_record",
+    "fabric_counters",
     "loads_telemetry",
     "read_telemetry",
 ]

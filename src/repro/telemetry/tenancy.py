@@ -1,0 +1,78 @@
+"""Per-tenant telemetry counters for shared-fabric runs.
+
+The single-job :class:`~repro.telemetry.collector.Collector` hooks one
+engine; a fabric run has K of them, so per-tenant observability instead
+folds each :class:`~repro.tenancy.fabric.TenantOutcome` into a
+:class:`TenantCounters` — the same stable-record idiom as
+:class:`~repro.telemetry.collector.CounterSet` (exact integers, JSON-able
+``to_record``), keyed by tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["TenantCounters", "fabric_counters"]
+
+
+@dataclass(frozen=True)
+class TenantCounters:
+    """End-of-run counters for one tenant of a fabric run.
+
+    ``blocked_cycles`` counts global cycles the tenant had demand the
+    arbiter granted elsewhere; ``stall_pending`` / ``delivered_floor`` /
+    ``reduced_at_root`` are the recovery frontiers (non-empty pending
+    only for stalled tenants). All integers are exact, so records are
+    byte-stable across the fast/reference fabric engines (which are
+    bit-identical anyway).
+    """
+
+    tenant: int
+    arrival: int
+    status: str
+    local_cycles: int
+    global_cycle: int
+    blocked_cycles: int
+    flits_moved: int
+    stall_pending: Tuple[int, ...]
+    delivered_floor: Tuple[int, ...]
+    reduced_at_root: Tuple[int, ...]
+
+    @classmethod
+    def from_outcome(cls, outcome) -> "TenantCounters":
+        """Fold a :class:`~repro.tenancy.fabric.TenantOutcome`."""
+        return cls(
+            tenant=outcome.tenant,
+            arrival=outcome.arrival,
+            status=outcome.status,
+            local_cycles=outcome.local_cycles,
+            global_cycle=outcome.global_cycle,
+            blocked_cycles=outcome.blocked_cycles,
+            flits_moved=outcome.flits_moved,
+            stall_pending=tuple(outcome.stall_pending),
+            delivered_floor=tuple(outcome.delivered_floor),
+            reduced_at_root=tuple(outcome.reduced_at_root),
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        """Stable JSON-able record (lists, not tuples)."""
+        return {
+            "t": "tenant",
+            "tenant": self.tenant,
+            "arrival": self.arrival,
+            "status": self.status,
+            "local_cycles": self.local_cycles,
+            "global_cycle": self.global_cycle,
+            "blocked_cycles": self.blocked_cycles,
+            "flits_moved": self.flits_moved,
+            "stall_pending": list(self.stall_pending),
+            "delivered_floor": list(self.delivered_floor),
+            "reduced_at_root": list(self.reduced_at_root),
+        }
+
+
+def fabric_counters(stats) -> Tuple[TenantCounters, ...]:
+    """One :class:`TenantCounters` per tenant of a
+    :class:`~repro.tenancy.fabric.FabricStats` (tenant order)."""
+    return tuple(TenantCounters.from_outcome(o) for o in stats.outcomes)

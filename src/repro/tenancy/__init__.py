@@ -1,0 +1,47 @@
+"""Multi-tenant fabric scheduling: K concurrent allreduces on one PolarFly.
+
+The realistic deployment — argued by Flare and Canary — is many tenants
+with partially overlapping tree embeddings contending for the same
+links. This package models it in three layers:
+
+- :mod:`repro.tenancy.jobs` — the job model (:class:`TenantJob`,
+  :func:`poisson_jobs`);
+- :mod:`repro.tenancy.placement` — admission/placement onto the shared
+  fabric with per-switch reduction-slot and per-link budgets
+  (:func:`place_jobs`, :class:`FabricPlan`, :class:`AdmissionError`);
+- :mod:`repro.tenancy.fabric` — the shared-fabric cycle engine
+  (:class:`FabricSimulator`) advancing all tenants against shared link
+  capacity under a pluggable arbitration policy (:data:`POLICIES`),
+  proven isolation-correct by ``tests/test_tenancy_differential.py``.
+"""
+
+from repro.tenancy.fabric import (
+    POLICIES,
+    FabricSimulator,
+    FabricStats,
+    TenantOutcome,
+    simulate_tenants,
+)
+from repro.tenancy.jobs import TenantJob, poisson_jobs
+from repro.tenancy.placement import (
+    PLACEMENT_MODES,
+    AdmissionError,
+    FabricPlan,
+    Placement,
+    place_jobs,
+)
+
+__all__ = [
+    "AdmissionError",
+    "FabricPlan",
+    "FabricSimulator",
+    "FabricStats",
+    "PLACEMENT_MODES",
+    "POLICIES",
+    "Placement",
+    "TenantJob",
+    "TenantOutcome",
+    "place_jobs",
+    "poisson_jobs",
+    "simulate_tenants",
+]

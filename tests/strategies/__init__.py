@@ -66,6 +66,10 @@ __all__ = [
     "plan_used_links",
     "batch_specs",
     "materialize_lanes",
+    "arbitration_policies",
+    "placement_modes",
+    "tenant_mixes",
+    "materialize_jobs",
 ]
 
 #: every registered cycle-engine name, reference first (kept in sync with
@@ -303,3 +307,55 @@ def materialize_lanes(plan, batch):
             )
         )
     return lanes
+
+
+# ------------------------------------------------------------ tenant mixes
+
+def arbitration_policies(subset=None):
+    """Strategy over fabric arbitration policies."""
+    from repro.tenancy import POLICIES
+
+    return st.sampled_from(POLICIES if subset is None else tuple(subset))
+
+
+def placement_modes():
+    """Strategy over placement modes (shared / partitioned)."""
+    from repro.tenancy import PLACEMENT_MODES
+
+    return st.sampled_from(PLACEMENT_MODES)
+
+
+def tenant_mixes(max_tenants: int = 4, max_m: int = 16, max_arrival: int = 24,
+                 max_tree_count: int = 3):
+    """Strategy over abstract tenant job mixes: non-empty tuples of
+    ``(arrival, m, tree_count)`` — plan-independent (tree counts may
+    exceed a small plan's pool; :func:`materialize_jobs` clamps them)."""
+    job = st.tuples(
+        st.integers(min_value=0, max_value=max_arrival),
+        st.integers(min_value=1, max_value=max_m),
+        st.integers(min_value=1, max_value=max_tree_count),
+    )
+    return st.lists(job, min_size=1, max_size=max_tenants).map(tuple)
+
+
+def materialize_jobs(mix, num_trees: int, mode: str = "shared"):
+    """Bind an abstract mix to a plan's tree pool: tenant ids are assigned
+    in arrival order, tree counts clamp to the pool (and, in partitioned
+    mode, to what remains — surplus jobs are dropped rather than
+    rejected, so every drawn mix is admissible)."""
+    from repro.tenancy import TenantJob
+
+    jobs = []
+    remaining = num_trees
+    for arrival, m, tc in sorted(mix):
+        if mode == "partitioned":
+            if remaining == 0:
+                break
+            tc = min(tc, remaining)
+            remaining -= tc
+        else:
+            tc = min(tc, num_trees)
+        jobs.append(
+            TenantJob(tenant=len(jobs), arrival=arrival, m=m, tree_count=tc)
+        )
+    return tuple(jobs)
