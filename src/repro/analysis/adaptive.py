@@ -1,0 +1,178 @@
+"""E-A18 — congestion-aware adaptive re-planning: static vs adaptive.
+
+For a grid of (radix, skew) points, submits a *skewed* workload — a
+``skew`` fraction of the vector pinned to tree 0, the remainder
+Equation-2-partitioned over the rest — and races the static plan against
+the congestion controller (:mod:`repro.simulator.adaptive`):
+
+- ``static_cycles`` — the skewed run on the untouched plan;
+- ``adaptive_cycles`` — the same workload with the controller in the
+  loop (demote hot links, migrate crossing trees, re-partition);
+- ``balanced_cycles`` — the oracle: the same total vector Equation-2
+  partitioned up front (what a clairvoyant planner would have done);
+- the episode's detection latency (hot-streak onset → trigger), demoted
+  link count, migrated/rebuilt tree counts and redone flits.
+
+Every row is deterministic: the skewed partition, thresholds and dwell
+windows are fixed, and both per-cycle engines produce the identical row
+(the controller taps the byte-identical telemetry stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "AdaptiveRow",
+    "adaptive_row",
+    "adaptive_cells",
+    "adaptive_data",
+    "render_adaptive",
+    "skewed_partition",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveRow:
+    q: int
+    scheme: str
+    m: int
+    skew: float
+    engine: str
+    util_high: float
+    dwell: int
+    cooldown: int
+    sample_every: int
+    static_cycles: int  # skewed workload, no controller
+    adaptive_cycles: int  # skewed workload, controller in the loop
+    balanced_cycles: int  # oracle: Eq. 2 partition up front
+    episodes: int
+    detect_cycle: int  # first trigger (absolute; 0 if never fired)
+    cycles_to_detect: int  # hot-streak onset -> trigger latency
+    demoted_links: int
+    trees_migrated: int
+    trees_rebuilt: int
+    flits_redone: int
+    windows_observed: int
+
+    @property
+    def speedup(self) -> float:
+        """Completion-time win of adaptive over static on the same skew."""
+        return self.static_cycles / self.adaptive_cycles if self.adaptive_cycles else 0.0
+
+    @property
+    def oracle_gap(self) -> float:
+        """How far adaptive lands from the clairvoyant balanced split."""
+        return self.adaptive_cycles / self.balanced_cycles if self.balanced_cycles else 0.0
+
+
+def skewed_partition(plan, m: int, skew: float) -> List[int]:
+    """The adversarial workload: ``round(m * skew)`` elements pinned to
+    tree 0, the remainder Equation-2-partitioned over the other trees
+    (``skew = 1`` puts everything on tree 0; ``skew = 0`` degenerates to
+    leaving tree 0 idle)."""
+    from repro.core.bandwidth import optimal_partition
+
+    if not 0 <= skew <= 1:
+        raise ValueError("skew must be in [0, 1]")
+    if plan.num_trees == 1:
+        return [m]
+    m0 = round(m * skew)
+    rest = optimal_partition(m - m0, plan.bandwidths[1:])
+    return [m0] + list(rest)
+
+
+def adaptive_row(
+    q: int,
+    scheme: str = "low-depth",
+    m: int = 600,
+    skew: float = 1.0,
+    engine: str = "fast",
+    util_high: float = 0.85,
+    dwell: int = 3,
+    cooldown: int = 256,
+    sample_every: int = 16,
+) -> AdaptiveRow:
+    """One table row — registered as the ``adaptive_row`` sweep task."""
+    from repro.core.plancache import get_plan
+    from repro.simulator.adaptive import AdaptivePolicy, run_adaptive
+    from repro.simulator.cycle import simulate_allreduce
+
+    plan = get_plan(q, scheme)
+    parts = skewed_partition(plan, m, skew)
+    policy = AdaptivePolicy(
+        util_high=util_high,
+        dwell=dwell,
+        cooldown=cooldown,
+        sample_every=sample_every,
+    )
+    static = simulate_allreduce(plan.topology, plan.trees, parts, engine=engine)
+    balanced = simulate_allreduce(
+        plan.topology, plan.trees, plan.partition(m), engine=engine
+    )
+    res = run_adaptive(plan, m_per_tree=parts, policy=policy, engine=engine)
+    first = res.episodes[0] if res.episodes else None
+    return AdaptiveRow(
+        q=q,
+        scheme=scheme,
+        m=m,
+        skew=skew,
+        engine=engine,
+        util_high=util_high,
+        dwell=dwell,
+        cooldown=cooldown,
+        sample_every=sample_every,
+        static_cycles=static.cycles,
+        adaptive_cycles=res.total_cycles,
+        balanced_cycles=balanced.cycles,
+        episodes=len(res.episodes),
+        detect_cycle=first.detect_cycle if first else 0,
+        cycles_to_detect=res.cycles_to_detect,
+        demoted_links=len(res.demoted_links),
+        trees_migrated=len(first.trees_lost) if first else 0,
+        trees_rebuilt=sum(e.trees_regrown for e in res.episodes),
+        flits_redone=res.flits_redone,
+        windows_observed=res.windows_observed,
+    )
+
+
+def adaptive_cells(
+    qs: Sequence[int] = (5, 7),
+    skews: Sequence[float] = (0.7, 1.0),
+    m: int = 600,
+    engine: str = "fast",
+) -> list:
+    """The report's adaptive grid, in row-major (q, skew) order."""
+    from repro.sweep.spec import cell
+
+    return [
+        cell("adaptive_row", q=q, skew=skew, m=m, engine=engine)
+        for q in qs
+        for skew in skews
+    ]
+
+
+def adaptive_data(sweep=None, **grid) -> List[AdaptiveRow]:
+    """Run the adaptive grid (optionally through a provided runner)."""
+    from repro.sweep.engine import default_runner
+
+    runner = sweep or default_runner()
+    return runner.run(adaptive_cells(**grid))
+
+
+def render_adaptive(rows: Sequence[AdaptiveRow]) -> str:
+    out = [
+        "Adaptive re-planning — congestion controller vs static plan on "
+        "skewed load (E-A18; skew = fraction of the vector pinned to tree 0)",
+        "  q skew    static adaptive balanced  speedup  eps detect"
+        "  demoted  migrated  redone",
+    ]
+    for r in rows:
+        out.append(
+            f" {r.q:>2} {r.skew:>4.2f} {r.static_cycles:>9} "
+            f"{r.adaptive_cycles:>8} {r.balanced_cycles:>8} "
+            f"{r.speedup:>7.2f}x {r.episodes:>4} {r.cycles_to_detect:>6} "
+            f"{r.demoted_links:>8} {r.trees_rebuilt:>9} {r.flits_redone:>7}"
+        )
+    return "\n".join(out)

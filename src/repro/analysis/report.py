@@ -18,6 +18,7 @@ from repro.analysis.figure2 import render_figure2
 from repro.analysis.figure3 import render_figure3
 from repro.analysis.figure4 import render_figure4
 from repro.analysis.figure5 import figure5_cells, render_figure5
+from repro.analysis.adaptive import adaptive_cells, render_adaptive
 from repro.analysis.recovery import recovery_cells, render_recovery
 from repro.analysis.table1 import table1_cells, render_table1
 from repro.analysis.table2 import render_table2
@@ -64,6 +65,9 @@ def _sections(
         ),
         (recovery_cells(engine=engine), lambda rs: [render_recovery(rs)]),
         (telemetry_cells(engine=engine), lambda rs: [render_telemetry(rs)]),
+        # the controller only runs on the per-cycle engines, so this grid
+        # does not follow the report-wide engine= choice
+        (adaptive_cells(), lambda rs: [render_adaptive(rs)]),
         ([cell("errata", q=3, d0=0, d1=1)], lambda rs: [rs[0]]),
     ]
 

@@ -13,7 +13,17 @@ react when a link dies. Two recovery levels are provided:
   with the surviving trees' links), restoring the tree count whenever the
   residual graph is still connected.
 
-Both return ordinary :class:`AllreducePlan` objects, so everything
+A third surgery handles links that are *contended rather than dead*:
+
+- :func:`demoted_plan` — keep the topology intact but migrate trees off
+  a set of demoted links: every tree routing through one is re-grown (in
+  place, keeping its root and index) on the topology minus those links,
+  and the demoted links' bandwidth is scaled by a penalty in the
+  Algorithm 1 re-fill so Equation 2 steers the sub-vector partition away
+  from whatever still crosses them. This is the plan half of the
+  congestion-aware controller (:mod:`repro.simulator.adaptive`).
+
+All three return ordinary :class:`AllreducePlan` objects, so everything
 downstream (partitioning, simulators, collectives) works unchanged.
 """
 
@@ -27,7 +37,13 @@ from repro.core.plan import AllreducePlan
 from repro.topology.graph import Graph, canonical_edge
 from repro.trees.tree import Edge, SpanningTree
 
-__all__ = ["affected_trees", "remove_links", "degraded_plan", "repaired_plan"]
+__all__ = [
+    "affected_trees",
+    "remove_links",
+    "degraded_plan",
+    "demoted_plan",
+    "repaired_plan",
+]
 
 
 def affected_trees(trees: Sequence[SpanningTree], failed: Iterable[Edge]) -> List[int]:
@@ -122,6 +138,64 @@ def repaired_plan(plan: AllreducePlan, failed: Iterable[Edge]) -> AllreducePlan:
         q=plan.q,
         scheme=plan.scheme + "+repaired",
         topology=g,
+        trees=tuple(trees),
+        bandwidths=tuple(bws),
+        link_bandwidth=plan.link_bandwidth,
+    )
+
+
+def demoted_plan(
+    plan: AllreducePlan,
+    demoted: Iterable[Edge],
+    penalty: Fraction = Fraction(1, 2),
+) -> AllreducePlan:
+    """Migrate trees off contended — demoted, not dead — links.
+
+    The topology is unchanged (the links still carry flits), but:
+
+    - every tree routing through a demoted link is re-grown greedily on
+      the topology *minus* the demoted links, usage pre-charged with the
+      untouched trees' links, keeping its root, index and tree id — so
+      per-tree leftover accounting survives the swap one-to-one;
+    - the demoted links' bandwidth is scaled by ``penalty`` (a fraction in
+      ``(0, 1]``) for the Algorithm 1 re-fill, so Equation 2 shifts the
+      sub-vector partition away from any tree still crossing them.
+
+    When removing the demoted links disconnects the topology the affected
+    trees are kept as they are — the bandwidth penalty alone de-emphasizes
+    them. Demoted links are validated like failures (physical, listed
+    once); ``penalty`` outside ``(0, 1]`` raises ``ValueError``.
+    """
+    from repro.core.bandwidth import _as_fraction
+    from repro.trees.greedy import greedy_tree
+
+    penalty = _as_fraction(penalty)
+    if not 0 < penalty <= 1:
+        raise ValueError(f"penalty must be in (0, 1], got {penalty}")
+    demoted = list(demoted)
+    residual = remove_links(plan.topology, demoted)  # validates the links
+    hot = {canonical_edge(*e) for e in demoted}
+    affected = set(affected_trees(plan.trees, demoted))
+    trees = list(plan.trees)
+    if affected and residual.is_connected():
+        usage = {}
+        for i, t in enumerate(plan.trees):
+            if i not in affected:
+                for e in t.edges:
+                    usage[e] = usage.get(e, 0) + 1
+        for i in sorted(affected):  # greedy_tree charges usage as it grows
+            old = plan.trees[i]
+            trees[i] = greedy_tree(residual, old.root, usage, tree_id=old.tree_id)
+    bws = tree_bandwidths(
+        plan.topology,
+        trees,
+        plan.link_bandwidth,
+        link_bandwidths={e: plan.link_bandwidth * penalty for e in hot},
+    )
+    return AllreducePlan(
+        q=plan.q,
+        scheme=plan.scheme + "+demoted",
+        topology=plan.topology,
         trees=tuple(trees),
         bandwidths=tuple(bws),
         link_bandwidth=plan.link_bandwidth,

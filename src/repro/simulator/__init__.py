@@ -21,7 +21,9 @@ Three fidelities, all exercising the Section 4.3/4.4 dataflow:
 Dynamic link failures: :mod:`repro.simulator.faultsched` schedules them
 (every cycle engine honors the same :class:`FaultSchedule` with identical
 semantics) and :mod:`repro.simulator.recovery` re-plans mid-flight when a
-failure permanently severs progress.
+failure permanently severs progress; :mod:`repro.simulator.adaptive`
+rides the same episode loop to migrate load off *contended* (not dead)
+links, driven by a congestion controller tapping the telemetry stream.
 
 :mod:`repro.simulator.router` / :mod:`repro.simulator.network` model the
 router resources (VCs, reduction engines, port fan-in) of Section 5.1.
@@ -54,11 +56,22 @@ from repro.simulator.kernels import (
 from repro.simulator.leap import LeapCycleSimulator
 from repro.simulator.network import Network
 from repro.simulator.packet import PacketLevelSimulator, PacketStats, packet_allreduce
+from repro.simulator.adaptive import (
+    ADAPTIVE_ENGINES,
+    AdaptivePolicy,
+    AdaptiveResult,
+    CongestionController,
+    ReplanSignal,
+    run_adaptive,
+)
 from repro.simulator.recovery import (
     RECOVERY_POLICIES,
+    EpisodeInterrupt,
     RecoveryEpisode,
     RecoveryError,
     RecoveryResult,
+    ReplanEpisode,
+    run_replan_loop,
     run_with_recovery,
 )
 from repro.simulator.trace import (
@@ -87,10 +100,19 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "RECOVERY_POLICIES",
+    "EpisodeInterrupt",
     "RecoveryEpisode",
     "RecoveryError",
     "RecoveryResult",
+    "ReplanEpisode",
+    "run_replan_loop",
     "run_with_recovery",
+    "ADAPTIVE_ENGINES",
+    "AdaptivePolicy",
+    "AdaptiveResult",
+    "CongestionController",
+    "ReplanSignal",
+    "run_adaptive",
     "CycleEngine",
     "ENGINES",
     "make_engine",

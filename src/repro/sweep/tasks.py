@@ -34,6 +34,7 @@ BUILTIN_TASKS: Dict[str, Union[str, Callable[..., Any]]] = {
     "plan_metrics": "repro.analysis.crossover:plan_metrics",
     "scaling_row": "repro.analysis.scaling:scaling_row",
     "radix_points": "repro.analysis.radix_efficiency:radix_comparison",
+    "adaptive_row": "repro.analysis.adaptive:adaptive_row",
     "recovery_row": "repro.analysis.recovery:recovery_row",
     "telemetry_row": "repro.analysis.telemetry:telemetry_row",
     "tenancy_row": "repro.analysis.tenancy:tenancy_row",

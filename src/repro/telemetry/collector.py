@@ -33,6 +33,17 @@ differential test pins exactly that.
 
 With ``telemetry=None`` the engines skip every hook behind one ``is not
 None`` test per cycle: instrumentation costs nothing when off.
+
+A collector can additionally carry one streaming *tap*
+(:meth:`Collector.set_tap`): an observer notified of every leg start
+(``tap.on_leg(engine, leg)``) and every emitted sample
+(``tap.on_sample(probe)``) the moment they happen. Taps observe the
+already-recorded stream — they run *after* the record is appended and
+never mutate it, so an attached-but-passive tap leaves the JSONL output
+byte-identical to an untapped run. Exceptions raised by a tap propagate
+into the engine's step loop; the congestion controller of
+:mod:`repro.simulator.adaptive` uses exactly that as its control-flow
+channel for mid-run re-planning.
 """
 
 from __future__ import annotations
@@ -169,6 +180,8 @@ class Collector:
         self._stall_cycles = 0
         self._engine_meta: List[Dict[str, Any]] = []
         self._finished = False
+        #: optional streaming observer (see :meth:`set_tap`)
+        self.tap: Optional[Any] = None
 
     # ------------------------------------------------------------- plumbing
 
@@ -177,6 +190,13 @@ class Collector:
         plan/engine construction stages; surfaces in the ``perf`` record
         so construction cost appears alongside simulation cost."""
         self.construction_ns = dict(timer.as_dict_ns())
+
+    def set_tap(self, tap: Optional[Any]) -> None:
+        """Attach (or detach, with ``None``) the streaming tap. The tap
+        must provide ``on_leg(engine, leg)`` and ``on_sample(probe)``;
+        both are called after the corresponding record is already in
+        ``self.records``, so taps can only observe, never rewrite."""
+        self.tap = tap
 
     def _emit_sample(self, cycle: int, cum: np.ndarray, queue: np.ndarray) -> None:
         assert self._last_cum is not None
@@ -189,6 +209,8 @@ class Collector:
             queue=tuple(int(x) for x in queue),
         )
         self.records.append(probe.to_record(self._leg))
+        if self.tap is not None:
+            self.tap.on_sample(probe)
 
     # ----------------------------------------------------------- hook calls
 
@@ -228,6 +250,8 @@ class Collector:
                 "engine": getattr(engine, "engine_name", type(engine).__name__),
             }
         )
+        if self.tap is not None:
+            self.tap.on_leg(engine, self._leg)
 
     def on_cycle(self, engine: Any, cycle: int, moved: int) -> None:
         if moved == 0:
@@ -299,6 +323,7 @@ class Collector:
             {
                 "t": "episode",
                 "index": sum(1 for r in self.records if r["t"] == "episode"),
+                "kind": str(getattr(episode, "kind", "fault")),
                 "fault_cycle": int(episode.fault_cycle),
                 "detect_cycle": int(episode.detect_cycle),
                 "failed_links": [[int(u), int(v)] for u, v in episode.failed_links],

@@ -18,10 +18,11 @@ counters   ``leg``, ``cycle``, ``completed``, ``flits_moved``,
            ``stall_cycles``, ``fault_events``, per-tree
            ``reduce_hops`` / ``broadcast_hops`` / ``delivered`` /
            ``reduced_at_root`` / ``dropped``
-episode    ``index``, ``fault_cycle``, ``detect_cycle``,
-           ``failed_links``, ``policy``, ``trees_lost``,
-           ``trees_regrown``, ``flits_delivered``, ``flits_redone``,
-           ``bandwidth_before``
+episode    ``index``, ``kind`` (``"fault"`` | ``"congestion"``),
+           ``fault_cycle``, ``detect_cycle``, ``failed_links``
+           (down links for faults, demoted links for congestion),
+           ``policy``, ``trees_lost``, ``trees_regrown``,
+           ``flits_delivered``, ``flits_redone``, ``bandwidth_before``
 perf       opt-in (``include_perf=True``): per-leg engine identity and
            step/leap/idle tallies, plus ``construction_ns`` stage map —
            the only record allowed to differ across engines

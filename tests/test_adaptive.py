@@ -1,0 +1,490 @@
+"""Congestion-aware re-planning: controller, plan surgery, invariants.
+
+Three layers of guarantees:
+
+- the controller state machine in isolation (synthetic probes through a
+  stub engine): dwell, low-water release, the spare-capacity gate, the
+  queue trigger, the churn bound and the cooldown shadow;
+- :func:`repro.core.faults.demoted_plan` surgery: migrated trees avoid
+  the demoted links, indices/roots survive, validation errors;
+- the closed loop (:func:`repro.simulator.adaptive.run_adaptive`): an
+  attached-but-never-triggered controller leaves runs byte-identical to
+  plain runs, the deterministic q=7 skewed scenario completes strictly
+  faster with the controller on (and fires nothing on a balanced run),
+  both per-cycle engines produce the identical adaptive run, and the
+  hypothesis invariant that no two episodes ever fire within one
+  cooldown window.
+"""
+
+import pickle
+from fractions import Fraction
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import optimal_partition
+from repro.core.faults import demoted_plan
+from repro.core.plancache import get_plan
+from repro.analysis.adaptive import adaptive_row, skewed_partition
+from repro.simulator import simulate_allreduce
+from repro.simulator.adaptive import (
+    ADAPTIVE_ENGINES,
+    AdaptivePolicy,
+    CongestionController,
+    ReplanSignal,
+    run_adaptive,
+)
+from repro.simulator.recovery import RecoveryError
+from repro.telemetry import Collector
+from repro.telemetry.collector import Probe
+
+Q = 7
+M = 600
+
+
+def _skewed(plan, m=M):
+    """Everything on tree 0 — the canonical congestion storm."""
+    return [m] + [0] * (plan.num_trees - 1)
+
+
+#: thresholds the canonical q=7/q=5 scenarios are calibrated against
+SCENARIO = AdaptivePolicy()
+
+#: attached but inert: the dwell requirement is unreachable, so the
+#: controller observes every window yet never fires
+PASSIVE = AdaptivePolicy(dwell=10**6)
+
+
+# --------------------------------------------------------------------------
+# controller state machine on synthetic probes
+
+
+def _stub_engine(capacity=1):
+    """Two physical links 0-1, 1-2; one tree using both."""
+    channels = [(0, 1), (1, 0), (1, 2), (2, 1)]
+    tree = SimpleNamespace(edges={(0, 1), (1, 2)})
+    return SimpleNamespace(
+        capacity=capacity, channels=lambda: list(channels), trees=[tree]
+    )
+
+
+def _probe(i, link_flits, queue=(0, 0, 0), sample_every=16):
+    cycle = (i + 1) * sample_every
+    return Probe(
+        cycle=cycle,
+        abs_cycle=cycle,
+        link_flits=tuple(link_flits),
+        queue=tuple(queue),
+    )
+
+
+def _feed(controller, flit_rows, sample_every=16, queue_rows=None):
+    """Run probe windows through the controller; returns the signal."""
+    controller.on_leg(_stub_engine(), 0)
+    for i, flits in enumerate(flit_rows):
+        queue = queue_rows[i] if queue_rows else (0, 0, 0)
+        controller.on_sample(_probe(i, flits, queue, sample_every))
+    return None
+
+
+HOT = (16, 16, 0, 0)  # link (0,1) saturated both ways, (1,2) idle
+COLD = (0, 0, 0, 0)
+MID = (8, 8, 0, 0)  # between the water marks for link (0,1)
+
+
+class TestCongestionController:
+    def test_fires_after_exactly_dwell_hot_windows(self):
+        pol = AdaptivePolicy(dwell=3, sample_every=16)
+        ctl = CongestionController(pol)
+        with pytest.raises(ReplanSignal) as exc:
+            _feed(ctl, [HOT, HOT, HOT])
+        assert exc.value.hot_links == ((0, 1),)
+        assert exc.value.cycle == 48  # fired on the third window
+        assert exc.value.onset_cycle == 1  # first hot window starts at 1
+        assert ctl.decisions == [(48, ((0, 1),))]
+
+    def test_two_hot_windows_do_not_fire(self):
+        ctl = CongestionController(AdaptivePolicy(dwell=3, sample_every=16))
+        _feed(ctl, [HOT, HOT])
+        assert ctl.windows == 2 and not ctl.decisions
+
+    def test_low_water_release_resets_the_streak(self):
+        ctl = CongestionController(AdaptivePolicy(dwell=3, sample_every=16))
+        _feed(ctl, [HOT, HOT, COLD, HOT, HOT])  # never 3 in a row
+        assert not ctl.decisions
+
+    def test_between_the_marks_holds_but_does_not_grow(self):
+        pol = AdaptivePolicy(dwell=3, util_low=0.3, sample_every=16)
+        ctl = CongestionController(pol)
+        # MID windows (util 0.5) neither reset nor advance the streak...
+        _feed(ctl, [HOT, MID, MID, MID, HOT])
+        assert not ctl.decisions
+        # ...so one more hot window completes the dwell
+        with pytest.raises(ReplanSignal):
+            ctl.on_sample(_probe(5, HOT))
+
+    def test_spare_gate_blocks_a_uniformly_busy_fabric(self):
+        # all four channels saturated: mean utilization 1.0 > spare_low —
+        # healthy pipelining, not congestion
+        ctl = CongestionController(AdaptivePolicy(dwell=1, sample_every=16))
+        _feed(ctl, [(16, 16, 16, 16)] * 5)
+        assert not ctl.decisions
+
+    def test_queue_trigger_marks_incident_tree_links(self):
+        pol = AdaptivePolicy(dwell=1, queue_high=4, sample_every=16)
+        ctl = CongestionController(pol)
+        with pytest.raises(ReplanSignal) as exc:
+            # no link is hot by utilization, but router 1's queue is deep:
+            # both tree links incident to it get marked
+            _feed(ctl, [COLD], queue_rows=[(0, 5, 0)])
+        assert exc.value.hot_links == ((0, 1), (1, 2))
+
+    def test_max_demote_truncates_to_the_ripest(self):
+        # spare_low=1 disables the gate: on a 4-channel stub two hot
+        # links necessarily push the mean past any meaningful threshold
+        pol = AdaptivePolicy(
+            dwell=1, max_demote=1, spare_low=1.0, sample_every=16
+        )
+        ctl = CongestionController(pol)
+        with pytest.raises(ReplanSignal) as exc:
+            # both links above high water, (0,1) the hotter
+            _feed(ctl, [(16, 16, 15, 0)])
+        assert exc.value.hot_links == ((0, 1),)
+
+    def test_cooldown_shadow_blocks_refiring(self):
+        pol = AdaptivePolicy(dwell=1, cooldown=100, sample_every=16)
+        ctl = CongestionController(pol)
+        with pytest.raises(ReplanSignal):
+            _feed(ctl, [HOT])
+        # windows at abs cycles 32..112 sit inside the shadow (16 + 100)
+        for i in range(1, 7):
+            ctl.on_sample(_probe(i, HOT))
+        with pytest.raises(ReplanSignal):  # abs 128 > 116: re-armed
+            ctl.on_sample(_probe(7, HOT))
+        assert [c for c, _ in ctl.decisions] == [16, 128]
+
+    def test_disarmed_controller_observes_without_firing(self):
+        ctl = CongestionController(AdaptivePolicy(dwell=1), armed=False)
+        _feed(ctl, [HOT] * 10)
+        assert ctl.windows == 10 and not ctl.decisions
+
+    def test_policy_validation(self):
+        for bad in (
+            dict(util_high=0.0),
+            dict(util_high=1.5),
+            dict(util_low=0.9, util_high=0.8),
+            dict(spare_low=0.0),
+            dict(queue_high=0),
+            dict(dwell=0),
+            dict(max_demote=0),
+            dict(cooldown=-1),
+            dict(penalty=0),
+            dict(penalty=2),
+            dict(sample_every=0),
+            dict(max_episodes=-1),
+        ):
+            with pytest.raises(ValueError):
+                AdaptivePolicy(**bad)
+
+
+# --------------------------------------------------------------------------
+# demoted_plan surgery
+
+
+class TestDemotedPlan:
+    def test_migrated_trees_avoid_demoted_links(self):
+        plan = get_plan(Q, "low-depth")
+        hot = sorted(plan.trees[0].edges)[:8]
+        new = demoted_plan(plan, hot)
+        assert new.scheme == "low-depth+demoted"
+        assert new.topology is plan.topology  # demoted, not dead
+        assert new.num_trees == plan.num_trees
+        assert [t.root for t in new.trees] == [t.root for t in plan.trees]
+        bad = set(hot)
+        rebuilt = [
+            i
+            for i in range(plan.num_trees)
+            if new.trees[i].edges != plan.trees[i].edges
+        ]
+        assert rebuilt  # something actually migrated
+        for i in range(plan.num_trees):
+            if i in rebuilt:
+                assert not (new.trees[i].edges & bad)
+        # the plan stays runnable end to end
+        stats = simulate_allreduce(
+            new.topology, new.trees, new.partition(120), engine="fast"
+        )
+        assert stats.cycles > 0
+
+    def test_disconnecting_set_keeps_trees_but_penalizes_bandwidth(self):
+        plan = get_plan(Q, "low-depth")
+        hot = sorted(plan.trees[0].edges)[:16]  # disconnecting set
+        new = demoted_plan(plan, hot, penalty=Fraction(1, 4))
+        # residual disconnected: trees kept, only bandwidths re-filled
+        assert all(
+            new.trees[i].edges == plan.trees[i].edges
+            for i in range(plan.num_trees)
+        )
+        assert sum(new.bandwidths) < sum(plan.bandwidths)
+        assert all(b > 0 for b in new.bandwidths)
+        # a harsher penalty can only lower the re-fill further
+        half = demoted_plan(plan, hot, penalty=Fraction(1, 2))
+        assert sum(new.bandwidths) <= sum(half.bandwidths)
+
+    def test_penalty_shifts_the_partition_off_unshared_links(self):
+        # demote links only tree 0 crosses: its bandwidth drops, the
+        # others' survive, and Equation 2 moves elements off tree 0
+        plan = get_plan(Q, "low-depth")
+        others = set().union(*(t.edges for t in plan.trees[1:]))
+        private = sorted(plan.trees[0].edges - others)
+        if not private:
+            pytest.skip("embedding has no tree-0-private links")
+        new = demoted_plan(plan, private[:4], penalty=Fraction(1, 4))
+        if new.trees[0].edges != plan.trees[0].edges:
+            return  # tree 0 migrated entirely off the demoted links
+        old_parts = optimal_partition(M, plan.bandwidths)
+        new_parts = optimal_partition(M, new.bandwidths)
+        assert new_parts[0] < old_parts[0]
+
+    def test_validation_errors(self):
+        plan = get_plan(5, "low-depth")
+        e = sorted(plan.trees[0].edges)[0]
+        with pytest.raises(ValueError):
+            demoted_plan(plan, [e, e])  # duplicate
+        with pytest.raises(ValueError):
+            demoted_plan(plan, [e], penalty=Fraction(3, 2))
+        with pytest.raises(ValueError):
+            demoted_plan(plan, [(0, plan.topology.n + 5)])  # not a link
+
+
+# --------------------------------------------------------------------------
+# closed loop: differential and the deterministic scenario
+
+
+class TestControllerOffByteIdentity:
+    @pytest.mark.parametrize("engine", ADAPTIVE_ENGINES)
+    def test_untriggered_run_is_byte_identical(self, engine):
+        plan = get_plan(Q, "low-depth")
+        parts = plan.partition(M)
+
+        plain_col = Collector(sample_every=PASSIVE.sample_every)
+        plain = simulate_allreduce(
+            plan.topology, plan.trees, parts, engine=engine, telemetry=plain_col
+        )
+
+        tapped_col = Collector(sample_every=PASSIVE.sample_every)
+        ctl = CongestionController(PASSIVE)
+        res = run_adaptive(
+            plan,
+            m_per_tree=parts,
+            policy=PASSIVE,
+            engine=engine,
+            telemetry=tapped_col,
+            controller=ctl,
+        )
+
+        assert res.episodes == () and not ctl.decisions
+        assert ctl.windows > 0  # the tap really saw the run
+        # engine outcome identical down to the pickle
+        assert pickle.dumps(res.stats) == pickle.dumps(plain)
+        # telemetry stream identical down to the bytes
+        assert tapped_col.to_jsonl() == plain_col.to_jsonl()
+
+    def test_untriggered_trace_matches_plain_engine(self):
+        from repro.simulator.engine import make_engine
+
+        plan = get_plan(Q, "low-depth")
+        parts = plan.partition(M)
+        col = Collector(sample_every=PASSIVE.sample_every)
+        col.set_tap(CongestionController(PASSIVE))
+        tapped = make_engine(
+            "fast", plan.topology, plan.trees, parts, 1, None, telemetry=col
+        )
+        tapped.run()
+        plain = make_engine("fast", plan.topology, plan.trees, parts, 1, None)
+        plain.run()
+        assert list(tapped.channel_flit_counts()) == list(
+            plain.channel_flit_counts()
+        )
+        assert list(tapped.delivered_floor()) == list(plain.delivered_floor())
+
+
+class TestHotLinkScenario:
+    def test_replanning_strictly_beats_static_on_skew(self):
+        plan = get_plan(Q, "low-depth")
+        parts = _skewed(plan)
+        static = simulate_allreduce(
+            plan.topology, plan.trees, parts, engine="fast"
+        )
+        res = run_adaptive(plan, m_per_tree=parts, policy=SCENARIO, engine="fast")
+        assert len(res.episodes) == 1
+        ep = res.episodes[0]
+        assert ep.kind == "congestion" and ep.policy == "demoted"
+        assert 0 < len(ep.failed_links) <= SCENARIO.max_demote
+        assert ep.trees_regrown > 0  # subtrees actually migrated
+        assert res.total_cycles < static.cycles  # the acceptance criterion
+        assert res.final_scheme == "low-depth+demoted"
+        # conservation: kept floors + the re-partitioned pool cover m
+        assert ep.flits_delivered + sum(res.stats.flits_per_tree) == M
+        assert res.flits_total == M
+
+    def test_uncontended_run_fires_zero_episodes(self):
+        plan = get_plan(Q, "low-depth")
+        res = run_adaptive(plan, m=M, policy=SCENARIO, engine="fast")
+        balanced = simulate_allreduce(
+            plan.topology, plan.trees, plan.partition(M), engine="fast"
+        )
+        assert res.episodes == ()
+        assert res.total_cycles == balanced.cycles
+
+    def test_both_engines_produce_the_identical_adaptive_run(self):
+        plan = get_plan(Q, "low-depth")
+        parts = _skewed(plan)
+        runs = [
+            run_adaptive(plan, m_per_tree=parts, policy=SCENARIO, engine=e)
+            for e in ADAPTIVE_ENGINES
+        ]
+        assert runs[0].total_cycles == runs[1].total_cycles
+        assert runs[0].episodes == runs[1].episodes
+        assert runs[0].decisions == runs[1].decisions
+        assert pickle.dumps(runs[0].stats) == pickle.dumps(runs[1].stats)
+
+    def test_adaptive_row_matches_direct_runs(self):
+        row = adaptive_row(Q)
+        assert row.speedup > 1.0
+        assert row.episodes == 1
+        assert row.adaptive_cycles >= row.balanced_cycles
+
+    def test_rejects_engines_that_cannot_host_the_controller(self):
+        plan = get_plan(5, "low-depth")
+        for engine in ("leap", "batched"):
+            with pytest.raises(ValueError, match="cannot host"):
+                run_adaptive(plan, m=50, engine=engine)
+
+    def test_rejects_mismatched_collector_and_workload_spec(self):
+        plan = get_plan(5, "low-depth")
+        with pytest.raises(ValueError, match="calibrated"):
+            run_adaptive(plan, m=50, telemetry=Collector(sample_every=64))
+        with pytest.raises(ValueError, match="exactly one"):
+            run_adaptive(plan, m=50, m_per_tree=[50, 0, 0, 0, 0])
+        with pytest.raises(ValueError, match="exactly one"):
+            run_adaptive(plan)
+        with pytest.raises(ValueError, match="entries"):
+            run_adaptive(plan, m_per_tree=[50])
+
+    def test_telemetry_stream_records_the_congestion_episode(self):
+        from repro.telemetry import loads_telemetry
+
+        plan = get_plan(Q, "low-depth")
+        col = Collector(sample_every=SCENARIO.sample_every)
+        res = run_adaptive(
+            plan,
+            m_per_tree=_skewed(plan),
+            policy=SCENARIO,
+            engine="fast",
+            telemetry=col,
+        )
+        run = loads_telemetry(col.to_jsonl())
+        assert len(run.legs) == len(res.episodes) + 1 == 2
+        ep = run.episodes[0]
+        assert ep["kind"] == "congestion" and ep["policy"] == "demoted"
+        assert ep["detect_cycle"] == res.episodes[0].detect_cycle
+        assert run.end and run.end["completed"]
+
+
+# --------------------------------------------------------------------------
+# hypothesis: hysteresis never fires twice within one cooldown
+
+
+class TestHysteresisInvariant:
+    @given(
+        dwell=st.integers(min_value=1, max_value=3),
+        cooldown=st.integers(min_value=32, max_value=512),
+        sample_every=st.sampled_from([8, 16, 32]),
+        skew=st.floats(min_value=0.5, max_value=1.0),
+        m=st.integers(min_value=200, max_value=700),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_episodes_respect_the_cooldown(
+        self, dwell, cooldown, sample_every, skew, m
+    ):
+        plan = get_plan(5, "low-depth")
+        policy = AdaptivePolicy(
+            dwell=dwell,
+            cooldown=cooldown,
+            sample_every=sample_every,
+            max_episodes=16,
+        )
+        ctl = CongestionController(policy)
+        parts = skewed_partition(plan, m, skew)
+        try:
+            res = run_adaptive(
+                plan,
+                m_per_tree=parts,
+                policy=policy,
+                engine="fast",
+                controller=ctl,
+            )
+        except RecoveryError:
+            res = None  # episode budget blown: the spacing must still hold
+        fired = [cycle for cycle, _ in ctl.decisions]
+        for a, b in zip(fired, fired[1:]):
+            assert b - a > cooldown
+        if res is not None:
+            assert len(res.episodes) == len(fired)
+            assert res.flits_total == m
+            detects = [e.detect_cycle for e in res.episodes]
+            assert detects == sorted(detects)
+            for e in res.episodes:
+                assert e.fault_cycle <= e.detect_cycle
+
+
+# --------------------------------------------------------------------------
+# analysis grid, report rendering and the CLI front end
+
+
+class TestAnalysisAndCli:
+    def test_render_adaptive_carries_the_row(self):
+        from repro.analysis.adaptive import render_adaptive
+
+        row = adaptive_row(5, m=300)
+        text = render_adaptive([row])
+        assert "E-A18" in text
+        assert str(row.static_cycles) in text
+        assert str(row.adaptive_cycles) in text
+        assert f"{row.speedup:.2f}x" in text
+
+    def test_adaptive_cells_target_the_registered_task(self):
+        from repro.analysis.adaptive import adaptive_cells
+        from repro.sweep.tasks import resolve
+
+        cells = adaptive_cells(qs=(5, 7), skews=(0.7, 1.0))
+        assert len(cells) == 4
+        assert all(c.task == "adaptive_row" for c in cells)
+        assert resolve("adaptive_row") is adaptive_row
+        assert [(c.kwargs["q"], c.kwargs["skew"]) for c in cells] == [
+            (5, 0.7), (5, 1.0), (7, 0.7), (7, 1.0),
+        ]
+
+    def test_skewed_partition_rejects_bad_skew(self):
+        plan = get_plan(5, "low-depth")
+        with pytest.raises(ValueError, match="skew"):
+            skewed_partition(plan, 100, 1.5)
+
+    def test_cli_adapt_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["adapt", "5", "-m", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "static (skewed, no controller)" in out
+        assert "adaptive:" in out
+        assert "balanced-partition oracle" in out
+
+    def test_cli_adapt_quiet_when_spare_gate_blocks(self, capsys):
+        from repro.cli import main
+
+        assert main(["adapt", "5", "-m", "300", "--skew", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "controller never fired" in out
